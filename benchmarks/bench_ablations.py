@@ -1,0 +1,58 @@
+"""Ablation benchmarks (DESIGN.md §4).
+
+Not figures from the paper, but quantitative probes of the design choices
+it rests on: the pilot abstraction vs. per-task batch jobs, the agent's
+queue policy, and the ∝-tasks overhead law.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_pilot_vs_batch(figure_bench):
+    result = figure_bench(
+        ablations.pilot_vs_batch, ntasks=64, task_duration=120.0
+    )
+    ttcs = {row["strategy"]: row["ttc_s"] for row in result.rows}
+    assert ttcs["pilot"] < ttcs["per-task batch"]
+
+
+def test_ablation_scheduler_policy(figure_bench):
+    figure_bench(
+        ablations.scheduler_policy,
+        ntasks=32,
+        duration=60.0,
+        wide_cores=12,
+        cores=24,
+    )
+
+
+def test_ablation_overhead_scaling(figure_bench):
+    result = figure_bench(
+        ablations.overhead_scaling, task_counts=(16, 64, 256, 1024)
+    )
+    overheads = [row["pattern_overhead_s"] for row in result.rows]
+    assert overheads[-1] > overheads[0]
+
+
+def test_ablation_fault_resilience(figure_bench):
+    result = figure_bench(
+        ablations.fault_resilience,
+        fault_rates=(0.0, 0.1, 0.2, 0.4),
+        ntasks=64,
+    )
+    assert all(row["completed"] == 64 for row in result.rows)
+
+
+def test_ablation_heterogeneity(figure_bench):
+    result = figure_bench(
+        ablations.heterogeneity_utilization,
+        cvs=(0.0, 0.5, 1.0, 2.0),
+        ntasks=128,
+    )
+    assert result.notes  # FIFO comparison recorded
+
+
+def test_ablation_patterns_vs_dag(figure_bench):
+    result = figure_bench(ablations.patterns_vs_dag, sizes=(8, 32, 128))
+    dag_rows = [r for r in result.rows if r["model"] == "explicit-dag"]
+    assert dag_rows[-1]["user_edges"] == 128

@@ -1,0 +1,18 @@
+"""Fig. 3 — pattern characterization at paper scale.
+
+Char-count application under all three patterns on simulated XSEDE Comet,
+tasks = cores in {24, 48, 96, 192} (the paper's exact range).  Regenerates
+the four subplots' series: per-pattern execution time, EnTK core overhead
+and EnTK pattern overhead.
+"""
+
+from repro.experiments import fig3
+
+
+def test_fig3_pattern_characterization(figure_bench):
+    result = figure_bench(fig3.run, task_counts=(24, 48, 96, 192))
+    # The paper's headline numbers: execution time stays flat while the
+    # configuration grows 8x.
+    for name in ("pipeline", "sal", "ee"):
+        series = result.series[f"exec:{name}"]
+        assert max(series.y) <= 1.5 * min(series.y)

@@ -1,0 +1,13 @@
+"""Fig. 4 — kernel-plugin validation at paper scale.
+
+Gromacs + LSDMap via SAL on simulated Comet, tasks = cores in
+{24, 48, 96, 192}; the reproduced claim is kernel invariance of the
+toolkit's overheads (compared against the Fig. 3 utility-kernel SAL).
+"""
+
+from repro.experiments import fig4
+
+
+def test_fig4_kernel_validation(figure_bench):
+    result = figure_bench(fig4.run, task_counts=(24, 48, 96, 192))
+    assert len(result.rows) == 8  # md + reference at each size

@@ -1,0 +1,24 @@
+"""Fig. 5 — EE strong scaling at paper scale.
+
+2560 Amber temperature-exchange replicas (6 ps each, 1 core/replica) on
+simulated SuperMIC, cores swept 20..2560.  Reproduces both curves of the
+figure: simulation time (halves per core doubling) and exchange time
+(constant).
+"""
+
+import pytest
+
+from repro.experiments import fig5
+
+
+def test_fig5_ee_strong_scaling(figure_bench):
+    result = figure_bench(
+        fig5.run,
+        replicas=2560,
+        core_counts=(20, 40, 80, 160, 320, 640, 1280, 2560),
+    )
+    sim = result.series["simulation"]
+    # 128x more cores -> ~128x less simulation wall time.
+    assert sim.y[0] / sim.y[-1] == pytest.approx(128.0, rel=0.1)
+    exchange = result.series["exchange"]
+    assert max(exchange.y) <= 1.1 * min(exchange.y)

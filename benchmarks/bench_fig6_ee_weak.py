@@ -1,0 +1,17 @@
+"""Fig. 6 — EE weak scaling at paper scale.
+
+Replicas = cores swept 20..2560 on simulated SuperMIC (6 ps per replica).
+Reproduces: constant simulation time, exchange time growing with the
+replica count.
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_ee_weak_scaling(figure_bench):
+    result = figure_bench(
+        fig6.run, replica_counts=(20, 40, 80, 160, 320, 640, 1280, 2560)
+    )
+    exchange = result.series["exchange"]
+    # The serial exchange grows monotonically over the 128x sweep.
+    assert exchange.y[-1] > 2.0 * exchange.y[0]

@@ -1,0 +1,20 @@
+"""Fig. 7 — SAL strong scaling at paper scale.
+
+1024 Amber-CoCo simulations (0.6 ps, 1 core each) on simulated Stampede,
+cores swept 64..1024.  Reproduces: simulation time decreasing linearly
+with cores, serial analysis time constant.
+"""
+
+import pytest
+
+from repro.experiments import fig7
+
+
+def test_fig7_sal_strong_scaling(figure_bench):
+    result = figure_bench(
+        fig7.run, simulations=1024, core_counts=(64, 128, 256, 512, 1024)
+    )
+    sim = result.series["simulation"]
+    assert sim.y[0] / sim.y[-1] == pytest.approx(16.0, rel=0.1)
+    analysis = result.series["analysis"]
+    assert max(analysis.y) <= 1.05 * min(analysis.y)

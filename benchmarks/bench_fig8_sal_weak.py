@@ -1,0 +1,18 @@
+"""Fig. 8 — SAL weak scaling at paper scale.
+
+Simulations = cores swept 64..4096 on simulated Stampede (0.6 ps each,
+serial CoCo analysis).  Reproduces: constant simulation time, analysis
+time growing with the simulation count.
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8_sal_weak_scaling(figure_bench):
+    result = figure_bench(
+        fig8.run, sim_counts=(64, 128, 256, 512, 1024, 2048, 4096)
+    )
+    analysis = result.series["analysis"]
+    assert analysis.y[-1] > 2.0 * analysis.y[0]
+    sim = result.series["simulation"]
+    assert max(sim.y) <= 1.1 * min(sim.y)

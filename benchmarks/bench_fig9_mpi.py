@@ -1,0 +1,19 @@
+"""Fig. 9 — MPI capability at paper scale.
+
+64 concurrent Amber-CoCo simulations of 6 ps on simulated Stampede with
+cores per simulation in {1, 16, 32, 64} (total cores up to 4096).
+Reproduces: simulation execution time dropping linearly with the
+per-simulation core count.
+"""
+
+import pytest
+
+from repro.experiments import fig9
+
+
+def test_fig9_mpi_capability(figure_bench):
+    result = figure_bench(
+        fig9.run, simulations=64, cores_per_sim=(1, 16, 32, 64)
+    )
+    sim = result.series["simulation"]
+    assert sim.y[0] / sim.y[-1] == pytest.approx(64.0, rel=0.2)

@@ -1,0 +1,128 @@
+"""Micro-benchmarks of the substrate itself.
+
+These measure the reproduction's own machinery (DES event throughput,
+unit-churn rate through the full pilot state model, batch-scheduler
+placement) so regressions in the simulator do not silently distort the
+figure reproductions.
+"""
+
+from repro.cluster.batch import BatchScheduler
+from repro.cluster.job import BatchJob
+from repro.cluster.platforms import get_platform
+from repro.eventsim import Simulator
+from repro.pilot import (
+    ComputePilotDescription,
+    ComputeUnitDescription,
+    PilotManager,
+    Session,
+    UnitManager,
+)
+
+
+def test_des_event_throughput(benchmark):
+    """Schedule-and-drain 20k chained events."""
+
+    def run() -> int:
+        sim = Simulator()
+        for i in range(20_000):
+            sim.schedule(float(i % 97), lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 20_000
+
+
+def test_pilot_unit_churn(benchmark):
+    """Push 2000 units through the complete simulated unit state model."""
+
+    def run() -> int:
+        session = Session(mode="sim", platform="xsede.stampede")
+        pmgr = PilotManager(session)
+        pilot = pmgr.submit_pilots(
+            ComputePilotDescription(
+                resource="xsede.stampede", cores=512, runtime=600, mode="sim"
+            )
+        )[0]
+        umgr = UnitManager(session)
+        umgr.add_pilots(pilot)
+        units = umgr.submit_units(
+            [
+                ComputeUnitDescription(executable="t", modelled_duration=10.0)
+                for _ in range(2000)
+            ]
+        )
+        umgr.wait_units()
+        pmgr.cancel_pilots()
+        session.close()
+        return sum(u.state.value == "DONE" for u in units)
+
+    done = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert done == 2000
+
+
+def test_batch_scheduler_placement(benchmark):
+    """Place 3000 mixed-size jobs through the EASY backfill queue."""
+
+    def run() -> int:
+        sim = Simulator()
+        scheduler = BatchScheduler(sim, get_platform("xsede.comet"))
+        jobs = [
+            BatchJob(nodes=1 + (i % 8), walltime=3600.0, duration=60.0 + i % 50)
+            for i in range(3000)
+        ]
+        for job in jobs:
+            scheduler.submit(job)
+        sim.run()
+        return sum(j.state.value == "COMPLETED" for j in jobs)
+
+    completed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert completed == 3000
+
+
+def test_strategy_estimate_accuracy(benchmark):
+    """The execution-strategy estimator tracks actual simulated TTC.
+
+    Plans a 256-task workload on Comet at three pilot widths and compares
+    each estimate against a real simulated run (queue wait excluded on
+    both sides).  Accuracy within 20% is what makes the §V "intelligent
+    execution plugin" decision layer trustworthy.
+    """
+    from repro.core.kernel_plugin import Kernel
+    from repro.core.patterns import BagOfTasks
+    from repro.core.profiler import breakdown_from_profile
+    from repro.core.resource_handle import ResourceHandle
+    from repro.core.strategy import WorkloadEstimate, estimate_ttc
+    from repro.cluster.platforms import get_platform
+
+    class Bag(BagOfTasks):
+        def task(self, instance):
+            kernel = Kernel(name="misc.sleep")
+            kernel.arguments = ["--duration=120"]
+            return kernel
+
+    workload = WorkloadEstimate(ntasks=256, task_seconds=120.0)
+    platform = get_platform("xsede.comet")
+
+    def run() -> list[tuple[int, float, float]]:
+        rows = []
+        for cores in (72, 144, 264):
+            estimate = estimate_ttc(workload, platform, cores,
+                                    include_queue_wait=False)
+            handle = ResourceHandle("xsede.comet", cores=cores,
+                                    walltime=600, mode="sim")
+            handle.allocate()
+            pattern = Bag(size=256)
+            handle.run(pattern)
+            handle.deallocate()
+            breakdown = breakdown_from_profile(handle.profile, pattern)
+            rows.append((cores, estimate["execution"],
+                         breakdown.execution_time))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("cores | est_exec_s | sim_exec_s")
+    for cores, estimated, simulated in rows:
+        print(f"{cores:5d} | {estimated:10.1f} | {simulated:10.1f}")
+        assert abs(estimated - simulated) <= 0.2 * simulated

@@ -1,0 +1,77 @@
+"""The §V scale envelope.
+
+The paper's discussion: "RADICAL-Pilot has been engineered to support up
+to 8K tasks on XSEDE Stampede ... O(10,000) tasks are being tested
+currently on NSF Blue Waters".  These benchmarks push the reproduction's
+runtime through exactly those envelopes and verify it stays linear:
+every task completes, core accounting holds, and the toolkit overhead per
+task stays flat from 1K to 10K tasks.
+"""
+
+from repro.analytics.validation import check_core_accounting
+from repro.core.kernel_plugin import Kernel
+from repro.core.patterns import BagOfTasks
+from repro.core.profiler import breakdown_from_profile
+from repro.core.resource_handle import ResourceHandle
+
+
+class SleepBag(BagOfTasks):
+    def task(self, instance):
+        kernel = Kernel(name="misc.sleep")
+        kernel.arguments = ["--duration=300"]
+        return kernel
+
+
+def run_at_scale(ntasks: int, resource: str, cores: int):
+    handle = ResourceHandle(resource, cores=cores, walltime=12 * 60,
+                            mode="sim")
+    handle.allocate()
+    pattern = SleepBag(size=ntasks)
+    handle.run(pattern)
+    handle.deallocate()
+    breakdown = breakdown_from_profile(handle.profile, pattern)
+    return pattern, breakdown
+
+
+def test_8k_tasks_on_stampede(benchmark):
+    """The paper's stated Stampede envelope: 8K concurrent-capable tasks."""
+
+    def run():
+        return run_at_scale(8192, "xsede.stampede", cores=4096)
+
+    pattern, breakdown = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert breakdown.ntasks == 8192
+    assert all(u.state.value == "DONE" for u in pattern.units)
+    check_core_accounting(pattern.units, 4096)
+    # 8192 tasks on 4096 cores: exactly two waves of 300 s / 0.9
+    # (Stampede's modelled core speed).
+    assert 660.0 <= breakdown.execution_time <= 680.0
+
+
+def test_10k_tasks_on_bluewaters(benchmark):
+    """The paper's Blue Waters outlook: O(10,000) tasks."""
+
+    def run():
+        return run_at_scale(10_000, "ncsa.bluewaters", cores=10_016)
+
+    pattern, breakdown = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert breakdown.ntasks == 10_000
+    assert all(u.state.value == "DONE" for u in pattern.units)
+
+
+def test_overhead_per_task_flat_from_1k_to_10k(benchmark):
+    """Linearity claim: EnTK overhead per task is scale-invariant."""
+
+    def run():
+        per_task = []
+        for ntasks in (1000, 4000, 10_000):
+            _, breakdown = run_at_scale(ntasks, "ncsa.bluewaters",
+                                        cores=10_016)
+            per_task.append(breakdown.pattern_overhead / ntasks)
+        return per_task
+
+    per_task = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("tasks : overhead/task (ms):",
+          [f"{1000 * v:.2f}" for v in per_task])
+    assert max(per_task) <= 1.2 * min(per_task)

@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Every benchmark runs one *paper-scale* figure reproduction exactly once
+(``rounds=1``): the interesting output is the figure's rows and claims, not
+the harness' own wall time, and the simulated runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def figure_bench(benchmark, capsys):
+    """Run a figure experiment under pytest-benchmark and report it.
+
+    Prints the reproduced rows/series (with ``-s`` or on failure) and
+    asserts every claim the paper makes about the figure.
+    """
+
+    def run(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(result.report())
+        assert result.all_claims_hold, (
+            f"{result.figure}: paper claims not reproduced\n{result.report()}"
+        )
+        return result
+
+    return run

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Run-time adaptivity: grow the ensemble until sampling converges.
+
+Demonstrates the paper's §V roadmap features this reproduction implements:
+
+* the **execution strategy** layer picks the resource and pilot size for
+  the workload before anything runs;
+* an **AdaptiveSimulationAnalysisLoop** inspects each CoCo analysis and
+  *doubles* the simulation ensemble while coverage keeps improving, then
+  stops early once the occupancy of the sampled map exceeds a target —
+  "vary the number of tasks between stages" made concrete.
+
+Runs on a simulated Comet so ensemble growth is free to reach hundreds of
+tasks.  Every decision is recorded in the profile.
+
+Run with:  python examples/adaptive_convergence.py
+"""
+
+from repro import (
+    AdaptDecision,
+    AdaptiveSimulationAnalysisLoop,
+    Kernel,
+    ResourceHandle,
+)
+from repro.core.strategy import WorkloadEstimate, select_resource
+
+TARGET_OCCUPANCY = 0.5
+MAX_ITERATIONS = 6
+START_INSTANCES = 8
+
+
+class ConvergingSampler(AdaptiveSimulationAnalysisLoop):
+    """Amber + CoCo; doubles the ensemble until occupancy converges."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            iterations=MAX_ITERATIONS,
+            simulation_instances=START_INSTANCES,
+            analysis_instances=1,
+        )
+        self.occupancies: list[float] = []
+
+    def simulation_stage(self, iteration: int, instance: int) -> Kernel:
+        kernel = Kernel(name="md.amber")
+        kernel.arguments = [
+            "--nsteps=300",
+            "--temperature=1.0",
+            "--outfile=trajectory.npz",
+            f"--seed={1000 * iteration + instance}",
+        ]
+        if iteration > 1:
+            kernel.arguments += ["--startfile=coco.npz",
+                                 f"--startindex={instance - 1}"]
+            kernel.link_input_data = ["$PREV_ANALYSIS/coco.npz"]
+        return kernel
+
+    def analysis_stage(self, iteration: int, instance: int) -> Kernel:
+        kernel = Kernel(name="analysis.coco")
+        kernel.arguments = [
+            "--pattern=traj_*.npz",
+            f"--npoints={2 * self.simulation_instances}",
+            "--grid-bins=12",
+            "--outfile=coco.npz",
+            f"--nframes={self.simulation_instances * 30}",
+        ]
+        kernel.link_input_data = [
+            f"$SIMULATION_{iteration}_{i}/trajectory.npz > traj_{i:04d}.npz"
+            for i in range(1, self.simulation_instances + 1)
+        ]
+        return kernel
+
+    def adapt(self, iteration: int, analysis_units) -> AdaptDecision:
+        # In simulated mode payloads are not evaluated, so this example
+        # uses the CoCo *cost model's* proxy: occupancy grows with the
+        # amount of sampling already pooled.  (Run the adaptive_sampling
+        # example for the real, locally-executed analysis.)
+        occupancy = min(0.12 * iteration * (self.simulation_instances / 8), 1.0)
+        self.occupancies.append(occupancy)
+        if occupancy >= TARGET_OCCUPANCY:
+            print(f"  iteration {iteration}: occupancy {occupancy:.2f} "
+                  f">= {TARGET_OCCUPANCY} -> converged, stopping")
+            return AdaptDecision(proceed=False)
+        new_size = self.simulation_instances * 2
+        print(f"  iteration {iteration}: occupancy {occupancy:.2f} "
+              f"-> growing ensemble {self.simulation_instances} -> {new_size}")
+        return AdaptDecision(simulation_instances=new_size)
+
+
+def main() -> None:
+    # Let the strategy layer choose where to run (Fig. 1 step 3, §V style).
+    workload = WorkloadEstimate(
+        ntasks=START_INSTANCES * 2**MAX_ITERATIONS,  # worst-case growth
+        task_seconds=45.0,
+        stages=MAX_ITERATIONS,
+    )
+    plan = select_resource(
+        workload, ["xsede.comet", "xsede.stampede", "xsede.supermic"]
+    )
+    print(f"strategy chose {plan.resource} with {plan.cores} cores "
+          f"(TTC estimate {plan.estimated_ttc:.0f}s)")
+
+    handle = ResourceHandle(resource=plan.resource, cores=plan.cores,
+                            walltime=120, mode="sim")
+    handle.allocate()
+    pattern = ConvergingSampler()
+    handle.run(pattern)
+    handle.deallocate()
+
+    iterations = len(pattern.decisions)
+    sims = [u for u in pattern.units if u.description.tags.get("phase") == "sim"]
+    print(f"converged after {iterations} iterations, "
+          f"{len(sims)} simulations total, "
+          f"virtual TTC {handle.profile.span('entk_pattern_start', 'entk_pattern_stop', pattern.uid):.0f}s")
+    for i, decision in enumerate(pattern.decisions, start=1):
+        print(f"  decision {i}: proceed={decision.proceed} "
+              f"next_size={decision.simulation_instances}")
+
+
+if __name__ == "__main__":
+    main()

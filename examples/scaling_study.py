@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""A scaling study on a simulated supercomputer.
+
+The paper's headline experiments (Fig. 5-8) ran on thousands of XSEDE
+cores.  This example reruns a reduced Fig. 5 + Fig. 6 sweep on the
+*simulated* SuperMIC: same code paths, virtual clock, seconds of wall
+time.  Use the benchmark suite for the full paper-scale sweeps.
+
+Run with:  python examples/scaling_study.py
+"""
+
+from repro.analytics.tables import format_table
+from repro.experiments import fig5, fig6
+
+
+def main() -> None:
+    print("Strong scaling (Fig. 5 shape): 256 replicas, cores 32..256")
+    strong = fig5.run(replicas=256, core_counts=(32, 64, 128, 256))
+    print(format_table(strong.rows))
+    for statement, holds in strong.claims.items():
+        print(f"  [{'OK' if holds else 'FAIL'}] {statement}")
+
+    print()
+    print("Weak scaling (Fig. 6 shape): replicas = cores, 32..256")
+    weak = fig6.run(replica_counts=(32, 64, 128, 256))
+    print(format_table(weak.rows))
+    for statement, holds in weak.claims.items():
+        print(f"  [{'OK' if holds else 'FAIL'}] {statement}")
+
+    print()
+    print("Same workload, same toolkit code — only the resource handle's")
+    print("target differs between this script and examples/quickstart.py.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md by running every figure at paper scale.
+
+Usage:  python scripts/generate_experiments_md.py [output]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analytics.tables import format_table
+from repro.experiments import ablations, fig3, fig4, fig5, fig6, fig7, fig8, fig9
+
+PAPER_CLAIMS = {
+    "fig3": (
+        "Fig. 3 (characterization, Comet, tasks=cores 24-192): execution "
+        "times similar across the three patterns and near-constant; EnTK "
+        "core overhead constant; pattern overhead grows with task count."
+    ),
+    "fig4": (
+        "Fig. 4 (Gromacs-LSDMap SAL, Comet, 24-192): overheads match the "
+        "Fig. 3 utility-kernel runs — kernel plugins do not leak workload "
+        "cost into toolkit cost."
+    ),
+    "fig5": (
+        "Fig. 5 (EE strong scaling, SuperMIC, 2560 replicas, 20-2560 "
+        "cores): simulation time halves per core doubling; exchange time "
+        "constant."
+    ),
+    "fig6": (
+        "Fig. 6 (EE weak scaling, SuperMIC, replicas=cores 20-2560): "
+        "simulation time constant; exchange time grows with replicas."
+    ),
+    "fig7": (
+        "Fig. 7 (SAL strong scaling, Stampede, 1024 sims, 64-1024 cores): "
+        "simulation time decreases linearly; serial CoCo analysis constant."
+    ),
+    "fig8": (
+        "Fig. 8 (SAL weak scaling, Stampede, sims=cores 64-4096): "
+        "simulation time constant; analysis grows with simulation count."
+    ),
+    "fig9": (
+        "Fig. 9 (MPI capability, Stampede, 64 sims x 6 ps, 1/16/32/64 "
+        "cores per sim): simulation time drops linearly with cores per "
+        "simulation."
+    ),
+}
+
+
+def main() -> None:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
+    runs = [
+        ("fig3", fig3.run, {}),
+        ("fig4", fig4.run, {}),
+        ("fig5", fig5.run, {}),
+        ("fig6", fig6.run, {}),
+        ("fig7", fig7.run, {}),
+        ("fig8", fig8.run, {}),
+        ("fig9", fig9.run, {}),
+    ]
+    sections = [
+        "# EXPERIMENTS — paper vs. measured\n",
+        "All figures of the paper's evaluation (§IV) rerun at the paper's",
+        "parameters on the simulated platforms (DESIGN.md §2 explains the",
+        "substitution; absolute seconds are not comparable to the paper's",
+        "XSEDE hardware — the *shapes* and *claims* are what reproduce).",
+        "",
+        "Regenerate with `python scripts/generate_experiments_md.py`;",
+        "the same configurations run under "
+        "`pytest benchmarks/ --benchmark-only`.",
+        "",
+    ]
+    all_hold = True
+    for figure, run, kwargs in runs:
+        print(f"running {figure} ...", flush=True)
+        result = run(**kwargs)
+        all_hold &= result.all_claims_hold
+        sections.append(f"## {figure}: {result.description}\n")
+        sections.append(f"**Paper:** {PAPER_CLAIMS[figure]}\n")
+        sections.append("**Measured:**\n")
+        sections.append("```")
+        sections.append(format_table(result.rows))
+        sections.append("```\n")
+        sections.append("**Claims:**\n")
+        for statement, holds in result.claims.items():
+            sections.append(f"- [{'x' if holds else ' '}] {statement}")
+        sections.append("")
+
+    sections.append("## Ablations (beyond the paper)\n")
+    for name, run in (
+        ("pilot vs per-task batch", ablations.pilot_vs_batch),
+        ("agent queue policy", ablations.scheduler_policy),
+        ("overhead ∝ tasks", ablations.overhead_scaling),
+        ("fault resilience", ablations.fault_resilience),
+        ("heterogeneity vs utilization", ablations.heterogeneity_utilization),
+        ("patterns vs generic DAG", ablations.patterns_vs_dag),
+    ):
+        print(f"running ablation: {name} ...", flush=True)
+        result = run()
+        all_hold &= result.all_claims_hold
+        sections.append(f"### {result.figure}: {result.description}\n")
+        sections.append("```")
+        sections.append(format_table(result.rows))
+        sections.append("```\n")
+        for statement, holds in result.claims.items():
+            sections.append(f"- [{'x' if holds else ' '}] {statement}")
+        for note in result.notes:
+            sections.append(f"- note: {note}")
+        sections.append("")
+
+    sections.append(
+        f"**Summary: {'ALL' if all_hold else 'NOT ALL'} paper claims "
+        "reproduced.**"
+    )
+    output.write_text("\n".join(sections) + "\n")
+    print(f"wrote {output} (all claims hold: {all_hold})")
+
+
+if __name__ == "__main__":
+    main()

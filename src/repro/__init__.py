@@ -1,0 +1,70 @@
+"""repro — a reproduction of "Ensemble Toolkit: Scalable and Flexible
+Execution of Ensembles of Tasks" (Balasubramanian et al., ICPP 2016).
+
+The public API mirrors the paper's application-development workflow:
+
+1. pick an execution pattern (:class:`EnsembleOfPipelines`,
+   :class:`EnsembleExchange`, :class:`SimulationAnalysisLoop`,
+   :class:`BagOfTasks`),
+2. define the kernels of its stages (:class:`Kernel`),
+3. create a :class:`ResourceHandle` and :meth:`~ResourceHandle.allocate`,
+4. :meth:`~ResourceHandle.run` the pattern,
+5. :meth:`~ResourceHandle.deallocate`.
+
+See ``examples/quickstart.py`` for a complete five-minute tour; the lower
+layers (pilot runtime, simulated clusters, toy MD) are importable from
+``repro.pilot``, ``repro.cluster`` and ``repro.md``.
+"""
+
+from repro.core import (
+    AdaptDecision,
+    AdaptiveSimulationAnalysisLoop,
+    BagOfTasks,
+    ConcurrentPatterns,
+    EnsembleExchange,
+    EnsembleOfPipelines,
+    ExecutionPattern,
+    Kernel,
+    KernelPlugin,
+    OverheadBreakdown,
+    PatternSequence,
+    ResourceHandle,
+    SimulationAnalysisLoop,
+    SingleClusterEnvironment,
+    breakdown_from_profile,
+    register_kernel,
+)
+from repro.exceptions import (
+    EnTKError,
+    KernelError,
+    PatternError,
+    ReproError,
+    ResourceHandleError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Kernel",
+    "KernelPlugin",
+    "register_kernel",
+    "ExecutionPattern",
+    "BagOfTasks",
+    "AdaptDecision",
+    "AdaptiveSimulationAnalysisLoop",
+    "EnsembleOfPipelines",
+    "EnsembleExchange",
+    "SimulationAnalysisLoop",
+    "PatternSequence",
+    "ConcurrentPatterns",
+    "ResourceHandle",
+    "SingleClusterEnvironment",
+    "OverheadBreakdown",
+    "breakdown_from_profile",
+    "ReproError",
+    "EnTKError",
+    "PatternError",
+    "KernelError",
+    "ResourceHandleError",
+    "__version__",
+]

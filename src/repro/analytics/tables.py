@@ -1,0 +1,118 @@
+"""Plain-text tables and series, the benchmark harness' output format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "Series"]
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[dict[str, Any]] | Sequence[Sequence[Any]],
+    headers: Sequence[str] | None = None,
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Accepts either a list of dicts (headers default to the first row's
+    keys) or a list of sequences with explicit *headers*.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if isinstance(rows[0], dict):
+        if headers is None:
+            headers = list(rows[0].keys())
+        body = [[_fmt(row.get(h, ""), precision) for h in headers] for row in rows]
+    else:
+        if headers is None:
+            raise ValueError("sequence rows require explicit headers")
+        body = [[_fmt(v, precision) for v in row] for row in rows]
+
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in body))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """A named x/y series, the unit of figure reproduction.
+
+    ``expectation`` documents the paper's qualitative claim about the
+    series ("halves per doubling", "constant", "grows linearly") that the
+    benchmark assertions verify.
+    """
+
+    name: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+    x_label: str = "x"
+    y_label: str = "seconds"
+    expectation: str = ""
+
+    def append(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    # -- shape checks used by the benchmark harness -------------------------------
+
+    def is_constant(self, tolerance: float = 0.25) -> bool:
+        """All values within ±tolerance of the series mean."""
+        if not self.y:
+            return True
+        mean = sum(self.y) / len(self.y)
+        if mean == 0:
+            return all(abs(v) < 1e-12 for v in self.y)
+        return all(abs(v - mean) <= tolerance * abs(mean) for v in self.y)
+
+    def is_decreasing(self) -> bool:
+        return all(b < a for a, b in zip(self.y, self.y[1:]))
+
+    def is_increasing(self) -> bool:
+        return all(b > a for a, b in zip(self.y, self.y[1:]))
+
+    def halves_per_doubling(self, tolerance: float = 0.3) -> bool:
+        """y ~ 1/x: check y_i * x_i roughly constant (strong scaling)."""
+        if len(self.y) < 2:
+            return True
+        products = [x * y for x, y in zip(self.x, self.y)]
+        mean = sum(products) / len(products)
+        return all(abs(p - mean) <= tolerance * mean for p in products)
+
+    def grows_linearly(self, tolerance: float = 0.35) -> bool:
+        """y ~ a + b·x with positive b: check first differences scale with x."""
+        if len(self.y) < 3:
+            return self.is_increasing()
+        # Ratios y/x converge for linear-through-origin growth; with an
+        # offset, compare slope estimates between the ends.
+        slope_lo = (self.y[1] - self.y[0]) / (self.x[1] - self.x[0])
+        slope_hi = (self.y[-1] - self.y[-2]) / (self.x[-1] - self.x[-2])
+        if slope_hi <= 0:
+            return False
+        return abs(slope_hi - slope_lo) <= tolerance * max(abs(slope_hi), abs(slope_lo))
+
+    def as_rows(self) -> list[dict[str, float]]:
+        return [{self.x_label: x, self.y_label: y} for x, y in zip(self.x, self.y)]

@@ -1,0 +1,17 @@
+"""Baseline systems the paper argues against (§I, §II).
+
+Two comparison points frame the paper's pitch:
+
+* **scripting** — one batch job per task; modelled directly in
+  :func:`repro.experiments.ablations.pilot_vs_batch`.
+* **general-purpose workflow systems** (Pegasus, DAGMan, ...) — express
+  everything as a task DAG with explicit dependencies.
+  :class:`~repro.baselines.dag.DAGWorkflow` implements that model on the
+  same pilot runtime, so the comparison isolates the *programming model*:
+  what the user must write, and what the system must track, to run an
+  ensemble application.
+"""
+
+from repro.baselines.dag import DAGWorkflow, express_eop_as_dag, express_sal_as_dag
+
+__all__ = ["DAGWorkflow", "express_eop_as_dag", "express_sal_as_dag"]

@@ -1,0 +1,33 @@
+"""Simulated HPC platforms.
+
+This package models the machines the paper ran on — XSEDE Comet, Stampede
+and SuperMIC — at the level of detail the experiments require: node/core
+counts, a batch queue with FIFO + EASY-backfill scheduling, configurable
+queue-wait behaviour, a shared-filesystem transfer model and per-platform
+performance/overhead profiles.
+
+The real clusters are gone (and were never reachable from a laptop); the
+paper's results depend on task counts, core counts and per-component
+latencies, all of which these models reproduce.  See DESIGN.md §2 for the
+substitution argument.
+"""
+
+from repro.cluster.platform import NodeSpec, PlatformSpec
+from repro.cluster.platforms import get_platform, list_platforms, register_platform
+from repro.cluster.job import BatchJob, BatchJobState
+from repro.cluster.batch import BatchScheduler
+from repro.cluster.filesystem import SharedFilesystem
+from repro.cluster.network import NetworkModel
+
+__all__ = [
+    "NodeSpec",
+    "PlatformSpec",
+    "get_platform",
+    "list_platforms",
+    "register_platform",
+    "BatchJob",
+    "BatchJobState",
+    "BatchScheduler",
+    "SharedFilesystem",
+    "NetworkModel",
+]

@@ -1,0 +1,87 @@
+"""Batch jobs as seen by a cluster's batch system."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import StateTransitionError
+from repro.utils.ids import generate_id
+
+__all__ = ["BatchJobState", "BatchJob"]
+
+
+class BatchJobState(str, enum.Enum):
+    """Life cycle of a batch job.
+
+    ``PENDING -> RUNNING -> {COMPLETED, TIMEOUT, CANCELLED}`` and
+    ``PENDING -> CANCELLED``.
+    """
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    TIMEOUT = "TIMEOUT"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def is_final(self) -> bool:
+        return self in (
+            BatchJobState.COMPLETED,
+            BatchJobState.TIMEOUT,
+            BatchJobState.CANCELLED,
+        )
+
+
+_LEGAL_EDGES: dict[BatchJobState, frozenset[BatchJobState]] = {
+    BatchJobState.PENDING: frozenset(
+        {BatchJobState.RUNNING, BatchJobState.CANCELLED}
+    ),
+    BatchJobState.RUNNING: frozenset(
+        {BatchJobState.COMPLETED, BatchJobState.TIMEOUT, BatchJobState.CANCELLED}
+    ),
+    BatchJobState.COMPLETED: frozenset(),
+    BatchJobState.TIMEOUT: frozenset(),
+    BatchJobState.CANCELLED: frozenset(),
+}
+
+
+@dataclass
+class BatchJob:
+    """A request for *nodes* whole nodes for up to *walltime* seconds.
+
+    ``on_start(job)`` fires when the scheduler places the job; the payload
+    (e.g. a pilot agent) runs from then on.  ``on_end(job, state)`` fires at
+    release, whatever the reason.  ``duration`` is how long the payload will
+    hold the allocation if not killed; ``None`` means "until walltime"
+    (typical for pilots, which are cancelled by their pilot manager).
+    """
+
+    nodes: int
+    walltime: float
+    duration: float | None = None
+    name: str = ""
+    on_start: Callable[["BatchJob"], Any] | None = None
+    on_end: Callable[["BatchJob", BatchJobState], Any] | None = None
+
+    uid: str = field(default_factory=lambda: generate_id("batchjob"))
+    state: BatchJobState = BatchJobState.PENDING
+    submit_time: float | None = None
+    start_time: float | None = None
+    end_time: float | None = None
+
+    def advance(self, target: BatchJobState) -> None:
+        """Move to *target*, enforcing the legal-edge table."""
+        if target not in _LEGAL_EDGES[self.state]:
+            raise StateTransitionError(
+                f"BatchJob {self.uid}", self.state.value, target.value
+            )
+        self.state = target
+
+    @property
+    def queue_wait(self) -> float | None:
+        """Seconds spent pending, once started (``None`` before that)."""
+        if self.submit_time is None or self.start_time is None:
+            return None
+        return self.start_time - self.submit_time

@@ -1,0 +1,59 @@
+"""Client <-> resource network model.
+
+The pilot runtime's client side (pilot manager, unit manager) talks to the
+agent over the wide area; every control message pays a round-trip time with
+a small lognormal jitter.  This is the dominant term in the per-task
+submission overhead the paper's Fig. 3 decomposes.
+"""
+
+from __future__ import annotations
+
+from repro.eventsim import RandomStreams
+from repro.exceptions import ConfigurationError
+
+__all__ = ["NetworkModel"]
+
+
+class NetworkModel:
+    """Latency model for control-plane messages."""
+
+    def __init__(
+        self,
+        rtt: float,
+        jitter: float = 0.1,
+        streams: RandomStreams | None = None,
+    ) -> None:
+        if rtt < 0:
+            raise ConfigurationError("rtt must be non-negative")
+        if not 0 <= jitter < 1:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        self.rtt = float(rtt)
+        self.jitter = float(jitter)
+        self._rng = (streams or RandomStreams(0)).get("network")
+
+    def message_delay(self) -> float:
+        """One-way latency of a single control message, seconds."""
+        base = self.rtt / 2.0
+        if base == 0:
+            return 0.0
+        if self.jitter == 0:
+            return base
+        # Lognormal multiplicative noise centred on 1.
+        noise = float(self._rng.lognormal(mean=0.0, sigma=self.jitter))
+        return base * noise
+
+    def round_trip(self) -> float:
+        """Latency of a request/response pair, seconds."""
+        return self.message_delay() + self.message_delay()
+
+    def bulk_delay(self, nmessages: int) -> float:
+        """Pipelined delay of *nmessages* one-way messages.
+
+        Messages are pipelined on one connection: the first pays the full
+        one-way latency, the rest a small serialization cost each.  Matches
+        how RADICAL-Pilot bulk-submits units.
+        """
+        if nmessages <= 0:
+            return 0.0
+        per_message = 0.1 * self.rtt / 2.0 if self.rtt else 0.0
+        return self.message_delay() + per_message * (nmessages - 1)

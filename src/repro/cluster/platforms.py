@@ -1,0 +1,115 @@
+"""Registry of named platform profiles.
+
+The three XSEDE machines from the paper's §IV, plus a local profile used by
+examples and tests.  Node counts and cores/node are the paper's; the latency
+knobs follow the RADICAL-Pilot characterization the paper cites.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.platform import NodeSpec, PlatformSpec
+from repro.exceptions import PlatformError
+
+__all__ = ["get_platform", "list_platforms", "register_platform"]
+
+_REGISTRY: dict[str, PlatformSpec] = {}
+
+
+def register_platform(spec: PlatformSpec, *, replace: bool = False) -> None:
+    """Add *spec* to the registry under ``spec.name``."""
+    if spec.name in _REGISTRY and not replace:
+        raise PlatformError(f"platform {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look up a platform profile by name (e.g. ``"xsede.comet"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise PlatformError(f"unknown platform {name!r} (known: {known})") from None
+
+
+def list_platforms() -> list[str]:
+    """Names of all registered platforms, sorted."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Built-in profiles
+# ---------------------------------------------------------------------------
+
+register_platform(
+    PlatformSpec(
+        name="local.localhost",
+        nodes=1,
+        node=NodeSpec(cores=8, memory_gb=16.0, core_speed=1.0),
+        mean_queue_wait=0.0,
+        submit_latency=0.0,
+        agent_bootstrap=0.0,
+        unit_launch_overhead=0.0,
+        network_rtt=0.0,
+        description="The local machine; used by examples and functional tests.",
+    )
+)
+
+register_platform(
+    PlatformSpec(
+        name="xsede.comet",
+        nodes=1984,
+        node=NodeSpec(cores=24, memory_gb=120.0, core_speed=1.0),
+        mean_queue_wait=60.0,
+        submit_latency=1.0,
+        agent_bootstrap=20.0,
+        unit_launch_overhead=0.05,
+        fs_bandwidth=2e9,
+        network_rtt=0.05,
+        description="XSEDE Comet: Intel Xeon, 1984 nodes x 24 cores, 120 GB/node.",
+    )
+)
+
+register_platform(
+    PlatformSpec(
+        name="xsede.stampede",
+        nodes=6400,
+        node=NodeSpec(cores=16, memory_gb=32.0, core_speed=0.9),
+        mean_queue_wait=120.0,
+        submit_latency=1.0,
+        agent_bootstrap=25.0,
+        unit_launch_overhead=0.06,
+        fs_bandwidth=1.5e9,
+        network_rtt=0.06,
+        description="XSEDE Stampede: Intel Xeon, 6400 nodes x 16 cores, 32 GB/node.",
+    )
+)
+
+register_platform(
+    PlatformSpec(
+        name="xsede.supermic",
+        nodes=360,
+        node=NodeSpec(cores=20, memory_gb=60.0, core_speed=0.95),
+        mean_queue_wait=90.0,
+        submit_latency=1.0,
+        agent_bootstrap=22.0,
+        unit_launch_overhead=0.05,
+        fs_bandwidth=1.2e9,
+        network_rtt=0.07,
+        description="LSU SuperMIC: Intel Xeon (+Phi), 360 nodes x 20 cores, 60 GB/node.",
+    )
+)
+
+register_platform(
+    PlatformSpec(
+        name="ncsa.bluewaters",
+        nodes=22640,
+        node=NodeSpec(cores=32, memory_gb=64.0, core_speed=0.85),
+        mean_queue_wait=300.0,
+        submit_latency=2.0,
+        agent_bootstrap=40.0,
+        unit_launch_overhead=0.08,
+        fs_bandwidth=3e9,
+        network_rtt=0.09,
+        description="NSF Blue Waters (Cray XE/XK); paper §V mentions O(10k)-task runs.",
+    )
+)

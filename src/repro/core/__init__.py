@@ -1,0 +1,66 @@
+"""Ensemble Toolkit core: the paper's primary contribution.
+
+The four components of the paper's Fig. 1:
+
+* **Execution patterns** (:mod:`repro.core.patterns`) — parameterized
+  templates of ensemble coordination: :class:`EnsembleOfPipelines`,
+  :class:`EnsembleExchange`, :class:`SimulationAnalysisLoop`, plus the
+  :class:`BagOfTasks` unit pattern and sequential composition.
+* **Kernel plugins** (:class:`Kernel` + the registry) — named computational
+  tasks with per-resource configuration.
+* **Resource handle** (:class:`ResourceHandle`) — allocate / run / deallocate.
+* **Execution plugin** (:mod:`repro.core.execution_plugin`) — binds a
+  pattern's kernels into compute units and drives them on the pilot runtime.
+
+A five-line application (paper Fig. 1's numbered steps)::
+
+    from repro import Kernel, ResourceHandle, BagOfTasks
+
+    class Sleep(BagOfTasks):
+        def task(self, instance):
+            k = Kernel(name="misc.sleep")
+            k.arguments = ["--duration=0"]
+            return k
+
+    handle = ResourceHandle(resource="local.localhost", cores=2, walltime=5)
+    handle.allocate()
+    handle.run(Sleep(size=4))
+    handle.deallocate()
+"""
+
+from repro.core.kernel_plugin import Kernel, KernelPlugin
+from repro.core.kernel_registry import (
+    get_kernel_plugin,
+    list_kernel_plugins,
+    register_kernel,
+)
+from repro.core.execution_pattern import ExecutionPattern
+from repro.core.patterns.bag_of_tasks import BagOfTasks
+from repro.core.patterns.pipeline import EnsembleOfPipelines
+from repro.core.patterns.ensemble_exchange import EnsembleExchange
+from repro.core.patterns.simulation_analysis_loop import SimulationAnalysisLoop
+from repro.core.patterns.composite import ConcurrentPatterns, PatternSequence
+from repro.core.patterns.adaptive import AdaptDecision, AdaptiveSimulationAnalysisLoop
+from repro.core.resource_handle import ResourceHandle, SingleClusterEnvironment
+from repro.core.profiler import OverheadBreakdown, breakdown_from_profile
+
+__all__ = [
+    "Kernel",
+    "KernelPlugin",
+    "register_kernel",
+    "get_kernel_plugin",
+    "list_kernel_plugins",
+    "ExecutionPattern",
+    "BagOfTasks",
+    "EnsembleOfPipelines",
+    "EnsembleExchange",
+    "SimulationAnalysisLoop",
+    "PatternSequence",
+    "ConcurrentPatterns",
+    "AdaptDecision",
+    "AdaptiveSimulationAnalysisLoop",
+    "ResourceHandle",
+    "SingleClusterEnvironment",
+    "OverheadBreakdown",
+    "breakdown_from_profile",
+]

@@ -1,0 +1,23 @@
+"""Pattern drivers: per-pattern orchestration logic.
+
+A driver enforces one pattern's ordering rules by submitting compute units
+to the pilot runtime and reacting to their completions.  Drivers are pure
+control flow — continuation-passing on unit-final callbacks — so the same
+code serves threaded local execution and the discrete-event simulation.
+"""
+
+from repro.core.drivers.base import PatternDriver, SubmitRequest
+from repro.core.drivers.eop import EnsembleOfPipelinesDriver
+from repro.core.drivers.sal import SimulationAnalysisLoopDriver
+from repro.core.drivers.ee import EnsembleExchangeDriver
+from repro.core.drivers.registry import get_driver_class, register_driver
+
+__all__ = [
+    "PatternDriver",
+    "SubmitRequest",
+    "EnsembleOfPipelinesDriver",
+    "SimulationAnalysisLoopDriver",
+    "EnsembleExchangeDriver",
+    "get_driver_class",
+    "register_driver",
+]

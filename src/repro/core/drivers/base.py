@@ -1,0 +1,304 @@
+"""Common machinery of pattern drivers."""
+
+from __future__ import annotations
+
+import abc
+import copy
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import PatternError
+from repro.pilot.states import UnitState
+from repro.utils.logger import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.execution_pattern import ExecutionPattern
+    from repro.core.kernel_plugin import Kernel
+    from repro.core.resource_handle import ResourceHandle
+    from repro.pilot.unit import ComputeUnit
+
+__all__ = ["PatternDriver", "SubmitRequest"]
+
+log = get_logger("core.driver")
+
+
+@dataclass
+class SubmitRequest:
+    """One kernel to submit, with its pattern context.
+
+    ``placeholders`` maps staging tokens (without the leading ``$``) to the
+    uid of the unit whose sandbox they refer to; ``tags`` is free-form
+    metadata recorded on the unit (pattern entity, stage, iteration, ...).
+    """
+
+    kernel: "Kernel"
+    tags: dict[str, Any] = field(default_factory=dict)
+    placeholders: dict[str, str] = field(default_factory=dict)
+
+
+class PatternDriver(abc.ABC):
+    """Drives one pattern instance to completion on a resource handle."""
+
+    def __init__(self, pattern: "ExecutionPattern", handle: "ResourceHandle") -> None:
+        self.pattern = pattern
+        self.handle = handle
+        self.session = handle.session
+        self.umgr = handle.umgr
+        self.overheads = handle.overheads
+        self._lock = threading.RLock()
+        self._wakeup = threading.Condition(self._lock)
+        self.units: list["ComputeUnit"] = []
+        self.failed_units: list["ComputeUnit"] = []
+        self._internal_error: BaseException | None = None
+        self._pending: list[tuple[SubmitRequest, Any]] = []
+        self._flush_scheduled = False
+        #: retry bookkeeping: lineage root uid -> attempts used.
+        self._retries: dict[str, int] = {}
+
+    # -- subclass contract -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Submit the pattern's initial batch(es)."""
+
+    @abc.abstractmethod
+    def on_unit_final(self, unit: "ComputeUnit") -> None:
+        """React to one unit reaching a final state (submit successors...)."""
+
+    @property
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """True when no further progress is possible or needed."""
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Execute the pattern; raises :class:`PatternError` on task failure."""
+        prof = self.session.prof
+        self.pattern.validate()
+        prof.event("entk_pattern_start", self.pattern.uid,
+                   pattern=self.pattern.pattern_name)
+        # Hold the driver lock across start(): unit-final callbacks (which
+        # also take the lock) must not run before the initial batch's
+        # bookkeeping (e.g. placeholder uid maps) is complete.
+        with self._lock:
+            self.start()
+        self._drive_until(lambda: self.done)
+        prof.event("entk_pattern_stop", self.pattern.uid)
+        self.pattern.units = list(self.units)
+        self.pattern.failed_units = list(self.failed_units)
+        self.pattern.executed = True
+        if self._internal_error is not None:
+            raise self._internal_error
+        if self.failed_units:
+            details = "; ".join(
+                f"{u.uid} ({u.description.name}): {u.exception!r}"
+                for u in self.failed_units[:5]
+            )
+            raise PatternError(
+                f"pattern {self.pattern.uid}: {len(self.failed_units)} "
+                f"task(s) failed: {details}"
+            )
+
+    def _drive_until(self, condition) -> None:
+        def finished() -> bool:
+            return condition() or self._internal_error is not None
+
+        if self.session.is_simulated:
+            sim = self.session.sim
+            while not finished():
+                if sim.step() is None:
+                    raise PatternError(
+                        f"pattern {self.pattern.uid} deadlocked: simulation "
+                        "drained with work outstanding"
+                    )
+            return
+        with self._wakeup:
+            while not finished():
+                self._wakeup.wait(0.25)
+
+    def _wake(self) -> None:
+        with self._wakeup:
+            self._wakeup.notify_all()
+
+    # -- submission helper ------------------------------------------------------------
+
+    def submit(self, requests: list[SubmitRequest]) -> list["ComputeUnit"]:
+        """Bind kernels, resolve placeholders, submit as one batch.
+
+        Under simulation the EnTK pattern overhead (task creation +
+        submission marshalling) is charged on the virtual clock *before*
+        the units reach the runtime, which is when the real toolkit pays
+        it.  Returns the created units (in request order) immediately; the
+        agent sees them after the charged delay.
+        """
+        if not requests:
+            return []
+        prof = self.session.prof
+        prof.event(
+            "entk_stage_create_start", self.pattern.uid, n=len(requests)
+        )
+        descriptions = []
+        for request in requests:
+            kernel = request.kernel
+            kernel.link_input_data = [
+                self._resolve(entry, request.placeholders)
+                for entry in kernel.link_input_data
+            ]
+            kernel.copy_input_data = [
+                self._resolve(entry, request.placeholders)
+                for entry in kernel.copy_input_data
+            ]
+            description = kernel.bind(self.handle.resource, self.handle.platform)
+            description.tags.update(request.tags)
+            description.tags.setdefault("pattern", self.pattern.uid)
+            descriptions.append(description)
+        prof.event("entk_stage_create_stop", self.pattern.uid, n=len(requests))
+
+        # Under simulation, EnTK's client-side cost (task creation +
+        # submission marshalling, proportional to the task count) delays
+        # delivery of the batch to the agent; units are created
+        # synchronously so callers can wire placeholders immediately.
+        overhead = 0.0
+        if self.session.is_simulated:
+            overhead = self.overheads.pattern_overhead(len(requests))
+            prof.event("entk_pattern_overhead", self.pattern.uid,
+                       seconds=overhead, n=len(requests))
+        units = self.umgr.submit_units(
+            descriptions, callback=self._unit_event, extra_delay=overhead
+        )
+        with self._lock:
+            self.units.extend(units)
+        return units
+
+    def queue_submission(self, request: SubmitRequest, on_submitted=None) -> None:
+        """Submit *request*, coalescing same-instant requests into one batch.
+
+        Pattern progress often releases many successor tasks at the same
+        (virtual) moment — e.g. all pipelines finishing a lock-step stage.
+        The real toolkit submits those as one bulk operation; submitting
+        192 one-task batches instead would charge 192 batch costs.  Under
+        simulation, requests queued within one event timestamp are flushed
+        together by a zero-delay, low-priority event; locally the request
+        is submitted immediately (real measured costs are per-call anyway).
+
+        ``on_submitted(unit)`` is invoked for the created unit before it can
+        start executing, so callers can record placeholder mappings.
+        """
+        if not self.session.is_simulated:
+            units = self.submit([request])
+            if on_submitted is not None:
+                on_submitted(units[0])
+            return
+        self._pending.append((request, on_submitted))
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            # priority=10: run after all same-time unit-final events so the
+            # whole cohort lands in one batch.
+            self.session.sim.schedule(
+                0.0, self._flush_pending, priority=10,
+                label=f"flush:{self.pattern.uid}",
+            )
+
+    def _flush_pending(self) -> None:
+        with self._lock:
+            self._flush_scheduled = False
+            batch = self._pending
+            self._pending = []
+            if not batch:
+                return
+            units = self.submit([request for request, _ in batch])
+            for (_, on_submitted), unit in zip(batch, units):
+                if on_submitted is not None:
+                    on_submitted(unit)
+
+    @staticmethod
+    def _resolve(entry: str, placeholders: dict[str, str]) -> str:
+        """Rewrite ``$TOKEN/...`` staging sources to ``$UNIT_<uid>/...``."""
+        if not entry.startswith("$"):
+            return entry
+        head, sep, rest = entry.partition("/")
+        token = head[1:]
+        if token in ("SHARED", "PILOT_SANDBOX") or token.startswith("UNIT_"):
+            return entry
+        if token not in placeholders:
+            raise PatternError(
+                f"staging placeholder ${token} is not defined here "
+                f"(known: {sorted(placeholders) or 'none'})"
+            )
+        return f"$UNIT_{placeholders[token]}{sep}{rest}"
+
+    # -- fault tolerance ---------------------------------------------------------------
+
+    def _try_retry(self, unit: "ComputeUnit") -> bool:
+        """Resubmit a failed unit if the pattern's retry budget allows.
+
+        The retry is a fresh compute unit with the identical description
+        (same payload, staging, tags), so the pattern's ordering logic sees
+        it exactly as it saw the original.  Drivers that keep uid-keyed
+        placeholder maps are told to rebind via :meth:`on_unit_retried`.
+        """
+        budget = getattr(self.pattern, "max_task_retries", 0)
+        if budget <= 0:
+            return False
+        root = unit.description.tags.get("__retry_root", unit.uid)
+        with self._lock:
+            used = self._retries.get(root, 0)
+            if used >= budget:
+                return False
+            self._retries[root] = used + 1
+        import dataclasses
+
+        description = dataclasses.replace(
+            unit.description,
+            arguments=list(unit.description.arguments),
+            environment=dict(unit.description.environment),
+            input_staging=list(unit.description.input_staging),
+            output_staging=list(unit.description.output_staging),
+            tags={**unit.description.tags, "__retry_root": root,
+                  "__retry_attempt": used + 1},
+        )
+        self.session.prof.event(
+            "entk_task_retry", unit.uid, attempt=used + 1, root=root
+        )
+        log.info("retrying failed unit %s (attempt %d/%d)",
+                 unit.uid, used + 1, budget)
+        # Hold the driver lock across submit + bookkeeping: the replacement
+        # may finish on another worker thread immediately, and its final
+        # callback (which also takes this lock) must observe the unit list
+        # and the rebound placeholder maps.
+        with self._lock:
+            replacement = self.umgr.submit_units(
+                [description], callback=self._unit_event
+            )[0]
+            self.units.append(replacement)
+            self.on_unit_retried(unit, replacement)
+        return True
+
+    def on_unit_retried(self, old: "ComputeUnit", new: "ComputeUnit") -> None:
+        """Rebind uid-keyed driver state after a retry (override as needed)."""
+
+    # -- unit events --------------------------------------------------------------------
+
+    def _unit_event(self, unit: "ComputeUnit", state: UnitState) -> None:
+        if not state.is_final:
+            return
+        if state is UnitState.FAILED and self._try_retry(unit):
+            return  # the retry unit carries the pattern forward
+        if state in (UnitState.FAILED, UnitState.CANCELED):
+            with self._lock:
+                self.failed_units.append(unit)
+        try:
+            # Serialize all driver logic: callbacks may arrive concurrently
+            # from executor worker threads in local mode.  The lock is
+            # reentrant, so synchronous failure paths inside submit() that
+            # re-enter this handler on the same thread are safe.
+            with self._lock:
+                self.on_unit_final(unit)
+        except BaseException as exc:  # noqa: BLE001 - surface via run()
+            log.exception("driver callback failed for unit %s", unit.uid)
+            with self._lock:
+                if self._internal_error is None:
+                    self._internal_error = exc
+        self._wake()

@@ -1,0 +1,93 @@
+"""Driver for Ensemble of Pipelines (and Bag of Tasks).
+
+Ordering rule: stage ``k+1`` of pipeline *p* is submitted from the final
+callback of stage ``k`` of the same pipeline.  Pipelines never synchronize
+with each other; the initial stage of every pipeline is submitted as one
+bulk batch (this is what makes the pattern overhead one batch's worth, as
+the paper's Fig. 3 assumes).
+
+A failed stage aborts only its own pipeline; the pattern completes when
+every pipeline has either finished its last stage or aborted, then reports
+the failures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.drivers.base import PatternDriver, SubmitRequest
+from repro.pilot.states import UnitState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pilot.unit import ComputeUnit
+
+__all__ = ["EnsembleOfPipelinesDriver"]
+
+
+class EnsembleOfPipelinesDriver(PatternDriver):
+    """Executes :class:`~repro.core.patterns.pipeline.EnsembleOfPipelines`."""
+
+    def __init__(self, pattern, handle) -> None:
+        super().__init__(pattern, handle)
+        #: pipelines still making progress (instance numbers).
+        self._live: set[int] = set()
+        #: stage sandbox uids per pipeline: {instance: {"STAGE_1": uid}}.
+        self._sandboxes: dict[int, dict[str, str]] = {}
+
+    def start(self) -> None:
+        pattern = self.pattern
+        self._live = set(range(1, pattern.ensemble_size + 1))
+        self._sandboxes = {p: {} for p in self._live}
+        requests = []
+        for instance in sorted(self._live):
+            kernel = pattern.get_stage(1, instance)
+            requests.append(
+                SubmitRequest(
+                    kernel=kernel,
+                    tags={"stage": 1, "instance": instance},
+                    placeholders=self._sandboxes[instance],
+                )
+            )
+        units = self.submit(requests)
+        for request, unit in zip(requests, units):
+            instance = request.tags["instance"]
+            self._sandboxes[instance]["STAGE_1"] = unit.uid
+
+    def on_unit_final(self, unit: "ComputeUnit") -> None:
+        tags = unit.description.tags
+        if tags.get("pattern") != self.pattern.uid:
+            return
+        instance = tags["instance"]
+        stage = tags["stage"]
+        if unit.state is not UnitState.DONE:
+            with self._lock:
+                self._live.discard(instance)
+            return
+        if stage >= self.pattern.pipeline_size:
+            with self._lock:
+                self._live.discard(instance)
+            return
+        next_stage = stage + 1
+        kernel = self.pattern.get_stage(next_stage, instance)
+        request = SubmitRequest(
+            kernel=kernel,
+            tags={"stage": next_stage, "instance": instance},
+            placeholders=self._sandboxes[instance],
+        )
+        self.queue_submission(
+            request,
+            on_submitted=lambda unit, i=instance, s=next_stage: (
+                self._sandboxes[i].__setitem__(f"STAGE_{s}", unit.uid)
+            ),
+        )
+
+    def on_unit_retried(self, old, new) -> None:
+        instance = old.description.tags["instance"]
+        stage = old.description.tags["stage"]
+        with self._lock:
+            self._sandboxes[instance][f"STAGE_{stage}"] = new.uid
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return not self._live

@@ -1,0 +1,53 @@
+"""Mapping from pattern classes to driver classes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exceptions import PatternError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.drivers.base import PatternDriver
+    from repro.core.execution_pattern import ExecutionPattern
+
+__all__ = ["register_driver", "get_driver_class"]
+
+_DRIVERS: dict[type, type] = {}
+
+
+def register_driver(pattern_cls: type, driver_cls: type) -> None:
+    _DRIVERS[pattern_cls] = driver_cls
+
+
+def get_driver_class(pattern: "ExecutionPattern") -> type:
+    """Most-derived registered driver for *pattern*'s class."""
+    for cls in type(pattern).__mro__:
+        if cls in _DRIVERS:
+            return _DRIVERS[cls]
+    raise PatternError(
+        f"no driver registered for pattern type {type(pattern).__name__}"
+    )
+
+
+def _register_builtins() -> None:
+    from repro.core.drivers.adaptive import AdaptiveSimulationAnalysisLoopDriver
+    from repro.core.drivers.composite import ConcurrentPatternsDriver
+    from repro.core.drivers.ee import EnsembleExchangeDriver
+    from repro.core.drivers.eop import EnsembleOfPipelinesDriver
+    from repro.core.drivers.sal import SimulationAnalysisLoopDriver
+    from repro.core.patterns.adaptive import AdaptiveSimulationAnalysisLoop
+    from repro.core.patterns.composite import ConcurrentPatterns
+    from repro.core.patterns.ensemble_exchange import EnsembleExchange
+    from repro.core.patterns.pipeline import EnsembleOfPipelines
+    from repro.core.patterns.simulation_analysis_loop import SimulationAnalysisLoop
+
+    register_driver(EnsembleOfPipelines, EnsembleOfPipelinesDriver)
+    register_driver(SimulationAnalysisLoop, SimulationAnalysisLoopDriver)
+    register_driver(EnsembleExchange, EnsembleExchangeDriver)
+    register_driver(
+        AdaptiveSimulationAnalysisLoop, AdaptiveSimulationAnalysisLoopDriver
+    )
+    register_driver(ConcurrentPatterns, ConcurrentPatternsDriver)
+
+
+_register_builtins()

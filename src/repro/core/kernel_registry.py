@@ -1,0 +1,56 @@
+"""Registry of kernel plugins.
+
+Plugins register under dotted names (``misc.mkfile``, ``md.amber``,
+``analysis.coco``).  Importing :mod:`repro.kernels` registers the built-in
+library; applications can register their own with :func:`register_kernel`
+or the :func:`kernel` class decorator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+from repro.exceptions import KernelError, NoKernelPluginError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel_plugin import KernelPlugin
+
+__all__ = ["register_kernel", "get_kernel_plugin", "list_kernel_plugins", "kernel"]
+
+_REGISTRY: dict[str, type] = {}
+
+P = TypeVar("P")
+
+
+def register_kernel(plugin_cls: type, *, replace: bool = False) -> type:
+    """Register *plugin_cls* under its ``name`` attribute."""
+    name = getattr(plugin_cls, "name", "")
+    if not name:
+        raise KernelError(f"kernel plugin {plugin_cls!r} has no name")
+    if name in _REGISTRY and not replace:
+        raise KernelError(f"kernel plugin {name!r} is already registered")
+    _REGISTRY[name] = plugin_cls
+    return plugin_cls
+
+
+def kernel(plugin_cls: type) -> type:
+    """Class decorator form of :func:`register_kernel`."""
+    return register_kernel(plugin_cls)
+
+
+def get_kernel_plugin(name: str) -> type:
+    """Look a plugin class up by name; built-ins load lazily."""
+    if name not in _REGISTRY:
+        # Importing the built-in library registers misc/md/analysis kernels.
+        import repro.kernels  # noqa: F401  (import for side effect)
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise NoKernelPluginError(name, list(_REGISTRY)) from None
+
+
+def list_kernel_plugins() -> list[str]:
+    """Names of all registered plugins (built-ins included), sorted."""
+    import repro.kernels  # noqa: F401  (import for side effect)
+
+    return sorted(_REGISTRY)

@@ -1,0 +1,19 @@
+"""Concrete execution patterns (paper Fig. 2)."""
+
+from repro.core.patterns.bag_of_tasks import BagOfTasks
+from repro.core.patterns.pipeline import EnsembleOfPipelines
+from repro.core.patterns.ensemble_exchange import EnsembleExchange
+from repro.core.patterns.simulation_analysis_loop import SimulationAnalysisLoop
+from repro.core.patterns.composite import ConcurrentPatterns, PatternSequence
+from repro.core.patterns.adaptive import AdaptDecision, AdaptiveSimulationAnalysisLoop
+
+__all__ = [
+    "BagOfTasks",
+    "EnsembleOfPipelines",
+    "EnsembleExchange",
+    "SimulationAnalysisLoop",
+    "PatternSequence",
+    "ConcurrentPatterns",
+    "AdaptDecision",
+    "AdaptiveSimulationAnalysisLoop",
+]

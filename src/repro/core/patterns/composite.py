@@ -1,0 +1,88 @@
+"""Higher-order pattern composition (paper §III.B, §V).
+
+The paper proposes *unit patterns* "that can be combined to form higher-order
+patterns consisting of more complex communications and synchronizations" and
+lists identifying a complete unit-pattern basis as future work.  This module
+implements the composition operator that exists today in spirit:
+:class:`PatternSequence` runs unit patterns one after another, with data
+hand-off through the pilot's ``$SHARED`` space.
+
+Because each constituent pattern is executed by its own driver against the
+same resource handle, a sequence of (bag-of-tasks -> SAL -> EE) is itself a
+valid "complex" pattern with no new machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.execution_pattern import ExecutionPattern
+from repro.exceptions import PatternError
+
+__all__ = ["PatternSequence", "ConcurrentPatterns"]
+
+
+def _check_members(
+    owner: str,
+    patterns: Sequence[ExecutionPattern],
+    forbidden: tuple[type, ...],
+) -> list:
+    if not patterns:
+        raise PatternError(f"{owner} needs at least one pattern")
+    for pattern in patterns:
+        if not isinstance(pattern, ExecutionPattern):
+            raise PatternError(
+                f"{owner} elements must be patterns, got {pattern!r}"
+            )
+        if isinstance(pattern, forbidden):
+            raise PatternError(f"{owner} cannot nest composite patterns")
+    return list(patterns)
+
+
+class PatternSequence(ExecutionPattern):
+    """Execute *patterns* sequentially on one allocation.
+
+    A sequence step may itself be a :class:`ConcurrentPatterns` group —
+    "prepare, then run these two things side by side, then post-process"
+    is the canonical campaign shape — but sequences do not nest in
+    sequences (flatten them instead).
+    """
+
+    pattern_name = "seq"
+
+    def __init__(self, patterns: Sequence[ExecutionPattern]) -> None:
+        super().__init__()
+        self.patterns = _check_members(
+            "PatternSequence", patterns, forbidden=(PatternSequence,)
+        )
+
+    def validate(self) -> None:
+        super().validate()
+        for pattern in self.patterns:
+            pattern.validate()
+
+
+class ConcurrentPatterns(ExecutionPattern):
+    """Execute *patterns* concurrently on one allocation.
+
+    All constituent patterns submit into the same pilot; the agent
+    interleaves their tasks on the available cores.  This is the other
+    composition operator the paper's higher-order-pattern roadmap needs
+    (e.g. running an EE sampler *while* an independent analysis pipeline
+    drains the previous batch).
+    """
+
+    pattern_name = "conc"
+
+    def __init__(self, patterns: Sequence[ExecutionPattern]) -> None:
+        super().__init__()
+        self.patterns = _check_members(
+            "ConcurrentPatterns",
+            patterns,
+            forbidden=(PatternSequence, ConcurrentPatterns),
+        )
+
+    def validate(self) -> None:
+        super().validate()
+        for pattern in self.patterns:
+            pattern.validate()

@@ -1,0 +1,102 @@
+"""The Ensemble of Pipelines pattern (paper Fig. 2a).
+
+``N`` independent pipelines, each a fixed sequence of ``M`` stages.  Stage
+``k+1`` of a pipeline starts only after stage ``k`` of the *same* pipeline
+ends; different pipelines never synchronize.
+
+Users subclass and either define ``stage_1`` .. ``stage_M`` methods or
+override the generic :meth:`stage`::
+
+    class CharCount(EnsembleOfPipelines):
+        def stage_1(self, instance):
+            k = Kernel(name="misc.mkfile")
+            k.arguments = ["--size=1000", "--filename=out.txt"]
+            return k
+
+        def stage_2(self, instance):
+            k = Kernel(name="misc.ccount")
+            k.arguments = ["--inputfile=out.txt", "--outputfile=counts.txt"]
+            k.link_input_data = ["$STAGE_1/out.txt"]
+            return k
+
+Data placeholders available in staging directives:
+
+* ``$STAGE_<k>``  — the sandbox of stage *k* of the same pipeline,
+* ``$SHARED``     — the pilot-wide shared directory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.execution_pattern import ExecutionPattern
+from repro.exceptions import PatternError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel_plugin import Kernel
+
+__all__ = ["EnsembleOfPipelines"]
+
+
+class EnsembleOfPipelines(ExecutionPattern):
+    """N independent M-stage pipelines.
+
+    Parameters
+    ----------
+    ensemble_size:
+        Number of pipelines N (1-based instance numbers).
+    pipeline_size:
+        Number of stages M in each pipeline.
+    """
+
+    pattern_name = "eop"
+
+    def __init__(self, ensemble_size: int, pipeline_size: int = 1) -> None:
+        super().__init__()
+        self.ensemble_size = self._check_positive(ensemble_size, "ensemble_size")
+        self.pipeline_size = self._check_positive(pipeline_size, "pipeline_size")
+
+    # -- user hooks ---------------------------------------------------------------
+
+    def stage(self, stage_number: int, instance: int) -> "Kernel":
+        """Return the kernel of stage *stage_number* for pipeline *instance*.
+
+        The default dispatches to ``stage_<k>`` methods; override for fully
+        programmatic stage definitions.
+        """
+        method = getattr(self, f"stage_{stage_number}", None)
+        if method is None:
+            raise PatternError(
+                f"{type(self).__name__} defines no stage_{stage_number}() "
+                f"and does not override stage()"
+            )
+        return method(instance)
+
+    # -- used by the driver ----------------------------------------------------------
+
+    def get_stage(self, stage_number: int, instance: int) -> "Kernel":
+        if not 1 <= stage_number <= self.pipeline_size:
+            raise PatternError(
+                f"stage {stage_number} out of range 1..{self.pipeline_size}"
+            )
+        if not 1 <= instance <= self.ensemble_size:
+            raise PatternError(
+                f"instance {instance} out of range 1..{self.ensemble_size}"
+            )
+        kernel = self.stage(stage_number, instance)
+        return self._require_kernel(
+            kernel, f"stage_{stage_number}(instance={instance})"
+        )
+
+    def validate(self) -> None:
+        super().validate()
+        # Fail fast on missing stage methods before anything is submitted.
+        for stage_number in range(1, self.pipeline_size + 1):
+            if (
+                getattr(self, f"stage_{stage_number}", None) is None
+                and type(self).stage is EnsembleOfPipelines.stage
+            ):
+                raise PatternError(
+                    f"{type(self).__name__} must define stage_{stage_number}() "
+                    f"(pipeline_size={self.pipeline_size})"
+                )

@@ -1,0 +1,209 @@
+"""Execution strategies (paper §V, ref. [23]).
+
+The paper's execution plugin performs *static* binding: the user picks the
+resource and the core count.  Its roadmap is "the transition from static
+workload-resource mapping to dynamic mapping ... the ability to efficiently
+select resources for a given workload".  This module implements that
+decision layer: given a workload estimate and a set of candidate
+platforms, a strategy picks the platform and pilot size that optimizes an
+objective, using the same cost models the simulator runs on.
+
+Estimates deliberately reuse first-order laws the rest of the package
+implements exactly:
+
+* makespan of an N-task homogeneous phase on C cores = ceil(N·c/C) waves,
+* queue wait grows with the requested fraction of the machine,
+* client-side overhead is proportional to the task count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cluster.platform import PlatformSpec
+from repro.cluster.platforms import get_platform
+from repro.core.overhead import EnTKOverheadModel
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "WorkloadEstimate",
+    "ResourcePlan",
+    "estimate_ttc",
+    "ExecutionStrategy",
+    "MinimizeTTCStrategy",
+    "MinimizeCostStrategy",
+    "select_resource",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadEstimate:
+    """First-order description of an ensemble workload.
+
+    ``task_seconds`` is the modelled single-core duration of one task on
+    the *reference* platform (core_speed 1.0); per-platform speeds are
+    applied by the estimator.  ``serial_seconds`` covers serial stages
+    (e.g. a global analysis) that no amount of cores parallelizes.
+    """
+
+    ntasks: int
+    task_seconds: float
+    cores_per_task: int = 1
+    stages: int = 1
+    serial_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ntasks < 1 or self.cores_per_task < 1 or self.stages < 1:
+            raise ConfigurationError("ntasks, cores_per_task, stages must be >= 1")
+        if self.task_seconds < 0 or self.serial_seconds < 0:
+            raise ConfigurationError("durations must be non-negative")
+
+    @property
+    def total_core_seconds(self) -> float:
+        return self.ntasks * self.stages * self.task_seconds * self.cores_per_task
+
+
+@dataclass(frozen=True)
+class ResourcePlan:
+    """A strategy's verdict: where to run and how big a pilot to request."""
+
+    resource: str
+    cores: int
+    estimated_ttc: float
+    estimated_queue_wait: float
+    estimated_cost_core_hours: float
+    details: dict = field(default_factory=dict)
+
+
+def _queue_wait_estimate(platform: PlatformSpec, cores: int) -> float:
+    """Expected queue wait: baseline plus a machine-fraction penalty.
+
+    Requesting a large slice of a machine waits disproportionately longer;
+    a linear fraction penalty of 4x at full machine is the standard
+    rule-of-thumb shape.
+    """
+    fraction = cores / platform.total_cores
+    return platform.mean_queue_wait * (1.0 + 4.0 * fraction)
+
+
+def estimate_ttc(
+    workload: WorkloadEstimate,
+    platform: PlatformSpec,
+    cores: int,
+    overheads: EnTKOverheadModel | None = None,
+    include_queue_wait: bool = True,
+) -> dict[str, float]:
+    """Estimated TTC decomposition of *workload* on *cores* of *platform*."""
+    if cores < workload.cores_per_task:
+        raise ConfigurationError(
+            "pilot smaller than a single task's core requirement"
+        )
+    overheads = overheads or EnTKOverheadModel()
+    concurrent = max(cores // workload.cores_per_task, 1)
+    waves = math.ceil(workload.ntasks / concurrent)
+    task_time = workload.task_seconds / platform.node.core_speed
+    execution = workload.stages * waves * task_time + workload.serial_seconds
+    launch = workload.stages * waves * platform.unit_launch_overhead
+    client = overheads.core_overhead + overheads.pattern_overhead(
+        workload.ntasks * workload.stages, nbatches=workload.stages
+    )
+    bootstrap = platform.agent_bootstrap + platform.submit_latency
+    queue_wait = _queue_wait_estimate(platform, cores) if include_queue_wait else 0.0
+    ttc = execution + launch + client + bootstrap + queue_wait
+    return {
+        "ttc": ttc,
+        "execution": execution,
+        "queue_wait": queue_wait,
+        "client_overhead": client,
+        "bootstrap": bootstrap,
+        "launch": launch,
+        "waves": float(waves),
+    }
+
+
+class ExecutionStrategy:
+    """Base class: enumerate candidate plans, score them, pick the best."""
+
+    #: Candidate pilot sizes as multiples of the workload's natural width.
+    width_factors: tuple[float, ...] = (0.25, 0.5, 1.0)
+
+    def objective(self, plan: ResourcePlan) -> float:
+        raise NotImplementedError
+
+    def candidate_cores(self, workload: WorkloadEstimate, platform: PlatformSpec) -> list[int]:
+        natural = workload.ntasks * workload.cores_per_task
+        sizes = set()
+        for factor in self.width_factors:
+            cores = max(
+                workload.cores_per_task, int(natural * factor)
+            )
+            cores = min(cores, platform.total_cores)
+            # Round to whole nodes, as a batch system would allocate.
+            nodes = platform.nodes_for_cores(cores)
+            sizes.add(nodes * platform.cores_per_node)
+        return sorted(sizes)
+
+    def plan(
+        self,
+        workload: WorkloadEstimate,
+        resources: list[str],
+        overheads: EnTKOverheadModel | None = None,
+    ) -> ResourcePlan:
+        """Return the best plan over all candidate (platform, size) pairs."""
+        if not resources:
+            raise ConfigurationError("no candidate resources given")
+        best: ResourcePlan | None = None
+        for name in resources:
+            platform = get_platform(name)
+            for cores in self.candidate_cores(workload, platform):
+                estimate = estimate_ttc(workload, platform, cores, overheads)
+                plan = ResourcePlan(
+                    resource=name,
+                    cores=cores,
+                    estimated_ttc=estimate["ttc"],
+                    estimated_queue_wait=estimate["queue_wait"],
+                    estimated_cost_core_hours=cores * estimate["ttc"] / 3600.0,
+                    details=estimate,
+                )
+                if best is None or self.objective(plan) < self.objective(best):
+                    best = plan
+        assert best is not None
+        return best
+
+
+class MinimizeTTCStrategy(ExecutionStrategy):
+    """Fastest turnaround, cost be damned."""
+
+    width_factors = (0.25, 0.5, 1.0)
+
+    def objective(self, plan: ResourcePlan) -> float:
+        return plan.estimated_ttc
+
+
+class MinimizeCostStrategy(ExecutionStrategy):
+    """Cheapest core-hours subject to finishing at all."""
+
+    width_factors = (0.125, 0.25, 0.5, 1.0)
+
+    def objective(self, plan: ResourcePlan) -> float:
+        return plan.estimated_cost_core_hours
+
+
+def select_resource(
+    workload: WorkloadEstimate,
+    resources: list[str],
+    objective: str = "ttc",
+) -> ResourcePlan:
+    """Convenience wrapper: pick a strategy by objective name and plan."""
+    strategies = {
+        "ttc": MinimizeTTCStrategy,
+        "cost": MinimizeCostStrategy,
+    }
+    try:
+        strategy = strategies[objective]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown objective {objective!r} (known: {sorted(strategies)})"
+        ) from None
+    return strategy.plan(workload, resources)

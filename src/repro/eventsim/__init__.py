@@ -1,0 +1,23 @@
+"""A small discrete-event simulation (DES) engine.
+
+The engine drives every simulated-platform experiment in this package: the
+batch queue of a cluster, the pilot agent's scheduling loop and the modelled
+execution of compute units are all expressed as timestamped events on one
+:class:`Simulator`.
+
+Design notes
+------------
+* Events are ``(time, priority, seq, callback)`` tuples on a heap; ``seq`` is
+  a monotonically increasing tie-breaker, so the engine is deterministic:
+  same seed, same event insertion order => identical trajectories.
+* Components never advance the clock themselves.  They read it through the
+  simulator's :class:`~repro.utils.timing.VirtualClock` and schedule future
+  callbacks with :meth:`Simulator.schedule`.
+* Randomness is drawn from named :class:`RandomStreams` so adding a new
+  stochastic component cannot perturb the draws of existing ones.
+"""
+
+from repro.eventsim.simulator import Event, Simulator
+from repro.eventsim.random import RandomStreams
+
+__all__ = ["Event", "Simulator", "RandomStreams"]

@@ -1,0 +1,46 @@
+"""Named, independent random streams for deterministic simulations.
+
+A simulation draws randomness for several unrelated purposes (queue-wait
+jitter, task-duration noise, network latency noise).  If all of them shared
+one generator, adding a draw in one component would shift every later draw in
+every other component and silently change results.  ``RandomStreams`` gives
+each purpose its own :class:`numpy.random.Generator`, seeded from a master
+seed and the stream's *name*, so streams are stable under the addition of new
+streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """Factory of independent named RNG streams.
+
+    >>> rs = RandomStreams(seed=42)
+    >>> a1 = rs.get("qwait").standard_normal()
+    >>> rs2 = RandomStreams(seed=42)
+    >>> float(a1) == float(rs2.get("qwait").standard_normal())
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the stream called *name*."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            self._streams[name] = np.random.default_rng(child_seed)
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Return a child factory whose streams are independent of ours."""
+        digest = hashlib.sha256(f"{self.seed}:spawn:{name}".encode()).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "little"))

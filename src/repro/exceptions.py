@@ -1,0 +1,141 @@
+"""Exception hierarchy for the repro (Ensemble Toolkit reproduction) package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish toolkit failures from programming errors.  The
+hierarchy mirrors the layering of the package: SAGA-level errors, pilot
+runtime errors and EnTK (core) errors each have their own branch.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "StateTransitionError",
+    "SimulationError",
+    "PlatformError",
+    "QueuePolicyError",
+    "SagaError",
+    "BadParameter",
+    "NoSuccess",
+    "IncorrectState",
+    "PilotError",
+    "SchedulingError",
+    "StagingError",
+    "LaunchError",
+    "EnTKError",
+    "PatternError",
+    "KernelError",
+    "NoKernelPluginError",
+    "ResourceHandleError",
+    "AllocationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed or inconsistent."""
+
+
+class StateTransitionError(ReproError):
+    """An entity was asked to move along an illegal state-machine edge."""
+
+    def __init__(self, entity: str, current: str, target: str) -> None:
+        self.entity = entity
+        self.current = current
+        self.target = target
+        super().__init__(
+            f"{entity}: illegal state transition {current!r} -> {target!r}"
+        )
+
+
+# --------------------------------------------------------------------------
+# eventsim / cluster layer
+# --------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistency."""
+
+
+class PlatformError(ReproError):
+    """A simulated platform was asked for something it cannot provide."""
+
+
+class QueuePolicyError(PlatformError):
+    """A batch job violates the queue policy (size, walltime, ...)."""
+
+
+# --------------------------------------------------------------------------
+# SAGA layer
+# --------------------------------------------------------------------------
+
+class SagaError(ReproError):
+    """Base class for SAGA-like job API errors."""
+
+
+class BadParameter(SagaError):
+    """A job description or API call carried an invalid parameter."""
+
+
+class NoSuccess(SagaError):
+    """The backend failed to perform the requested operation."""
+
+
+class IncorrectState(SagaError):
+    """The operation is not legal in the entity's current state."""
+
+
+# --------------------------------------------------------------------------
+# pilot runtime layer
+# --------------------------------------------------------------------------
+
+class PilotError(ReproError):
+    """Base class for pilot-runtime errors."""
+
+
+class SchedulingError(PilotError):
+    """A unit cannot be scheduled (e.g. larger than the pilot)."""
+
+
+class StagingError(PilotError):
+    """Input or output staging failed."""
+
+
+class LaunchError(PilotError):
+    """The launch method could not start the unit."""
+
+
+# --------------------------------------------------------------------------
+# EnTK core layer
+# --------------------------------------------------------------------------
+
+class EnTKError(ReproError):
+    """Base class for Ensemble-Toolkit-level errors."""
+
+
+class PatternError(EnTKError):
+    """An execution pattern is malformed or used incorrectly."""
+
+
+class KernelError(EnTKError):
+    """A kernel plugin is malformed or failed to bind."""
+
+
+class NoKernelPluginError(KernelError):
+    """No kernel plugin is registered under the requested name."""
+
+    def __init__(self, name: str, known: list[str] | None = None) -> None:
+        self.name = name
+        hint = f" (known: {', '.join(sorted(known))})" if known else ""
+        super().__init__(f"no kernel plugin registered as {name!r}{hint}")
+
+
+class ResourceHandleError(EnTKError):
+    """The resource handle is in the wrong state for the operation."""
+
+
+class AllocationError(ResourceHandleError):
+    """Resource allocation failed or timed out."""

@@ -1,0 +1,25 @@
+"""Experiment runners reproducing every figure of the paper's §IV.
+
+Each ``figN`` module exposes ``run(...) -> ExperimentResult`` plus a
+``main()`` that prints the figure's rows; the matching benchmark in
+``benchmarks/`` wraps ``run`` and asserts the paper's qualitative claims
+(who wins, what stays constant, what scales).
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import workloads
+from repro.experiments import fig3, fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments import ablations
+
+__all__ = [
+    "ExperimentResult",
+    "workloads",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablations",
+]

@@ -1,0 +1,57 @@
+"""Shared infrastructure of the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analytics.tables import Series, format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one figure reproduction produced.
+
+    ``rows`` is the tabular view (one dict per configuration), ``series``
+    the per-curve view keyed by curve name.  ``claims`` maps each paper
+    claim (a short sentence) to whether the reproduction upholds it —
+    benchmarks assert on these, and EXPERIMENTS.md reports them.
+    """
+
+    figure: str
+    description: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    series: dict[str, Series] = field(default_factory=dict)
+    claims: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, series: Series) -> Series:
+        self.series[series.name] = series
+        return series
+
+    def claim(self, statement: str, holds: bool) -> bool:
+        self.claims[statement] = bool(holds)
+        return bool(holds)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values())
+
+    def report(self, precision: int = 2) -> str:
+        lines = [f"== {self.figure}: {self.description} =="]
+        if self.rows:
+            lines.append(format_table(self.rows, precision=precision))
+        for name, series in self.series.items():
+            if series.expectation:
+                lines.append(f"  series {name!r}: expected {series.expectation}")
+        for statement, holds in self.claims.items():
+            marker = "OK " if holds else "FAIL"
+            lines.append(f"  [{marker}] {statement}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print_report(self, precision: int = 2) -> None:
+        print(self.report(precision=precision))

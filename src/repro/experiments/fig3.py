@@ -1,0 +1,110 @@
+"""Fig. 3 — characterization of the three execution patterns (paper §IV.A).
+
+The two-stage character-count application (mkfile -> ccount) is run with
+all three patterns on (simulated) XSEDE Comet, with tasks = cores in
+{24, 48, 96, 192}.  The paper's observations to reproduce:
+
+1. application execution times are similar across patterns and roughly
+   constant across configurations (all tasks run concurrently),
+2. the EnTK *core overhead* is constant (independent of pattern/scale),
+3. the EnTK *pattern overhead* grows with the number of tasks.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.tables import Series
+from repro.experiments.base import ExperimentResult
+from repro.experiments.harness import run_on_sim
+from repro.experiments.workloads import (
+    CharCountEE,
+    CharCountPipeline,
+    CharCountSAL,
+)
+
+__all__ = ["run", "main", "TASK_COUNTS", "RESOURCE"]
+
+TASK_COUNTS = (24, 48, 96, 192)
+RESOURCE = "xsede.comet"
+
+_PATTERNS = {
+    "pipeline": CharCountPipeline,
+    "sal": CharCountSAL,
+    "ee": CharCountEE,
+}
+
+
+def run(task_counts=TASK_COUNTS, resource=RESOURCE, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="fig3",
+        description="char-count app under pipeline/SAL/EE patterns, "
+        f"tasks=cores in {tuple(task_counts)} on {resource}",
+    )
+    exec_series = {
+        name: result.add_series(
+            Series(name=f"exec:{name}", x_label="tasks", y_label="exec_s",
+                   expectation="similar across patterns, ~constant")
+        )
+        for name in _PATTERNS
+    }
+    core_series = result.add_series(
+        Series(name="core_overhead", x_label="tasks", y_label="core_s",
+               expectation="constant")
+    )
+    pattern_series = {
+        name: result.add_series(
+            Series(name=f"pattern_overhead:{name}", x_label="tasks",
+                   y_label="overhead_s", expectation="grows with tasks")
+        )
+        for name in _PATTERNS
+    }
+
+    for n in task_counts:
+        for name, pattern_cls in _PATTERNS.items():
+            pattern = pattern_cls(n)
+            _, _, breakdown = run_on_sim(
+                pattern, resource=resource, cores=n, seed=seed
+            )
+            exec_series[name].append(n, breakdown.execution_time)
+            pattern_series[name].append(n, breakdown.pattern_overhead)
+            if name == "pipeline":
+                core_series.append(n, breakdown.core_overhead)
+            result.rows.append(
+                {
+                    "pattern": name,
+                    "tasks": n,
+                    "cores": n,
+                    "exec_s": breakdown.execution_time,
+                    "core_overhead_s": breakdown.core_overhead,
+                    "pattern_overhead_s": breakdown.pattern_overhead,
+                    "ttc_s": breakdown.ttc,
+                }
+            )
+
+    # -- the paper's claims ------------------------------------------------------
+    for name, series in exec_series.items():
+        result.claim(
+            f"execution time of {name} is ~constant across configurations",
+            series.is_constant(tolerance=0.35),
+        )
+    means = [sum(s.y) / len(s.y) for s in exec_series.values()]
+    result.claim(
+        "execution times are similar across the three patterns",
+        max(means) <= 1.6 * min(means),
+    )
+    result.claim("EnTK core overhead is constant", core_series.is_constant(0.05))
+    for name, series in pattern_series.items():
+        result.claim(
+            f"EnTK pattern overhead of {name} grows with the task count",
+            series.is_increasing(),
+        )
+    return result
+
+
+def main() -> ExperimentResult:  # pragma: no cover - CLI convenience
+    result = run()
+    result.print_report()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""Fig. 5 — strong scaling of the EE pattern (paper §IV.C.1).
+
+Amber + temperature exchange on (simulated) SuperMIC: 2560 replicas of
+solvated alanine dipeptide, 6 ps per replica on one core each, with the
+core count swept 20..2560.  The paper observes:
+
+1. simulation time halves when the core count doubles (waves of
+   concurrent replicas),
+2. exchange time is constant — it depends on the replica count, which is
+   fixed here.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.tables import Series
+from repro.experiments.base import ExperimentResult
+from repro.experiments.harness import kernel_phase_times, run_on_sim
+from repro.experiments.workloads import AmberTemperatureREMD
+
+__all__ = ["run", "main", "CORE_COUNTS", "REPLICAS", "RESOURCE"]
+
+REPLICAS = 2560
+CORE_COUNTS = (20, 40, 80, 160, 320, 640, 1280, 2560)
+RESOURCE = "xsede.supermic"
+
+
+def run(
+    replicas: int = REPLICAS,
+    core_counts=CORE_COUNTS,
+    resource: str = RESOURCE,
+    duration_ps: float = 6.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="fig5",
+        description=f"EE strong scaling: {replicas} replicas, cores in "
+        f"{tuple(core_counts)} on {resource}",
+    )
+    sim_series = result.add_series(
+        Series(name="simulation", x_label="cores", y_label="sim_s",
+               expectation="halves per core doubling")
+    )
+    exchange_series = result.add_series(
+        Series(name="exchange", x_label="cores", y_label="exchange_s",
+               expectation="constant (depends on replica count only)")
+    )
+
+    for cores in core_counts:
+        pattern = AmberTemperatureREMD(
+            replicas=replicas, iterations=1, duration_ps=duration_ps
+        )
+        _, _, _breakdown = run_on_sim(
+            pattern,
+            resource=resource,
+            cores=cores,
+            walltime_minutes=47 * 60.0,
+            seed=seed,
+        )
+        phases = kernel_phase_times(pattern)
+        sim_time = phases.get("md.amber", 0.0)
+        exchange_time = phases.get("exchange.temperature", 0.0)
+        sim_series.append(cores, sim_time)
+        exchange_series.append(cores, exchange_time)
+        result.rows.append(
+            {
+                "replicas": replicas,
+                "cores": cores,
+                "sim_s": sim_time,
+                "exchange_s": exchange_time,
+            }
+        )
+
+    result.claim(
+        "simulation time halves when cores double (linear strong scaling)",
+        sim_series.halves_per_doubling(tolerance=0.2),
+    )
+    result.claim(
+        "exchange time is constant across core counts",
+        exchange_series.is_constant(tolerance=0.15),
+    )
+    return result
+
+
+def main() -> ExperimentResult:  # pragma: no cover - CLI convenience
+    result = run()
+    result.print_report()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,90 @@
+"""Fig. 7 — strong scaling of the SAL pattern (paper §IV.C.2).
+
+Amber + CoCo (iterative collective coordinates) on (simulated) Stampede:
+1024 simulations of 0.6 ps each on one core, cores swept 64..1024, one
+SAL iteration.  The paper observes:
+
+1. simulation time decreases linearly with the core count,
+2. analysis (serial CoCo over all simulations) time is constant — it
+   depends on the simulation count, which is fixed.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.tables import Series
+from repro.experiments.base import ExperimentResult
+from repro.experiments.harness import kernel_phase_times, run_on_sim
+from repro.experiments.workloads import AmberCoCoSAL
+
+__all__ = ["run", "main", "CORE_COUNTS", "SIMULATIONS", "RESOURCE"]
+
+SIMULATIONS = 1024
+CORE_COUNTS = (64, 128, 256, 512, 1024)
+RESOURCE = "xsede.stampede"
+
+
+def run(
+    simulations: int = SIMULATIONS,
+    core_counts=CORE_COUNTS,
+    resource: str = RESOURCE,
+    duration_ps: float = 0.6,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="fig7",
+        description=f"SAL strong scaling: {simulations} Amber-CoCo sims, "
+        f"cores in {tuple(core_counts)} on {resource}",
+    )
+    sim_series = result.add_series(
+        Series(name="simulation", x_label="cores", y_label="sim_s",
+               expectation="decreases linearly with cores")
+    )
+    analysis_series = result.add_series(
+        Series(name="analysis", x_label="cores", y_label="analysis_s",
+               expectation="constant (serial, depends on sim count)")
+    )
+
+    for cores in core_counts:
+        pattern = AmberCoCoSAL(
+            instances=simulations, iterations=1, duration_ps=duration_ps
+        )
+        _, _, _breakdown = run_on_sim(
+            pattern,
+            resource=resource,
+            cores=cores,
+            walltime_minutes=12 * 60.0,
+            seed=seed,
+        )
+        phases = kernel_phase_times(pattern)
+        sim_time = phases.get("md.amber", 0.0)
+        analysis_time = phases.get("analysis.coco", 0.0)
+        sim_series.append(cores, sim_time)
+        analysis_series.append(cores, analysis_time)
+        result.rows.append(
+            {
+                "simulations": simulations,
+                "cores": cores,
+                "sim_s": sim_time,
+                "analysis_s": analysis_time,
+            }
+        )
+
+    result.claim(
+        "simulation time decreases linearly with the core count",
+        sim_series.halves_per_doubling(tolerance=0.2),
+    )
+    result.claim(
+        "analysis time is constant across core counts",
+        analysis_series.is_constant(tolerance=0.1),
+    )
+    return result
+
+
+def main() -> ExperimentResult:  # pragma: no cover - CLI convenience
+    result = run()
+    result.print_report()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,87 @@
+"""Fig. 9 — MPI capability of Ensemble toolkit (paper §IV.C.3).
+
+Amber-CoCo via SAL on (simulated) Stampede with 64 concurrent simulations
+of 6 ps each, varying the cores *per simulation* through {1, 16, 32, 64}
+(total cores 64..4096).  The paper observes that simulation execution time
+drops linearly with the per-simulation core count — i.e. multi-core (MPI)
+units are first-class and the toolkit's overheads depend on task *count*,
+not task *size*.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.tables import Series
+from repro.experiments.base import ExperimentResult
+from repro.experiments.harness import kernel_phase_times, run_on_sim
+from repro.experiments.workloads import AmberCoCoSAL
+
+__all__ = ["run", "main", "CORES_PER_SIM", "SIMULATIONS", "RESOURCE"]
+
+SIMULATIONS = 64
+CORES_PER_SIM = (1, 16, 32, 64)
+RESOURCE = "xsede.stampede"
+
+
+def run(
+    simulations: int = SIMULATIONS,
+    cores_per_sim=CORES_PER_SIM,
+    resource: str = RESOURCE,
+    duration_ps: float = 6.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="fig9",
+        description=f"MPI capability: {simulations} sims of {duration_ps} ps, "
+        f"cores/sim in {tuple(cores_per_sim)} on {resource}",
+    )
+    sim_series = result.add_series(
+        Series(name="simulation", x_label="cores_per_sim", y_label="sim_s",
+               expectation="drops linearly with cores per simulation")
+    )
+
+    for k in cores_per_sim:
+        pattern = AmberCoCoSAL(
+            instances=simulations,
+            iterations=1,
+            duration_ps=duration_ps,
+            cores_per_simulation=k,
+        )
+        total_cores = simulations * k
+        _, _, _breakdown = run_on_sim(
+            pattern,
+            resource=resource,
+            cores=total_cores,
+            walltime_minutes=12 * 60.0,
+            seed=seed,
+        )
+        phases = kernel_phase_times(pattern)
+        sim_time = phases.get("md.amber", 0.0)
+        sim_series.append(k, sim_time)
+        result.rows.append(
+            {
+                "simulations": simulations,
+                "cores_per_sim": k,
+                "total_cores": total_cores,
+                "sim_s": sim_time,
+            }
+        )
+
+    result.claim(
+        "simulation time drops linearly with cores per simulation",
+        sim_series.halves_per_doubling(tolerance=0.25),
+    )
+    result.claim(
+        "every MPI width executed successfully at O(1000) total cores",
+        len(sim_series) == len(tuple(cores_per_sim)),
+    )
+    return result
+
+
+def main() -> ExperimentResult:  # pragma: no cover - CLI convenience
+    result = run()
+    result.print_report()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,117 @@
+"""Synthetic ensemble-workload generation.
+
+The paper's workloads are homogeneous (every member runs the same kernel
+for the same duration).  Real ensembles — especially adaptive ones — are
+not: task durations spread, widths mix, stragglers appear.  This module
+generates parameterized synthetic ensembles so the harness can sweep
+*heterogeneity* as an axis, which is where scheduling policy actually
+starts to matter (see :func:`repro.experiments.ablations.scheduler_policy`
+and the heterogeneity ablation).
+
+Durations are drawn from a lognormal with a chosen coefficient of
+variation (CV); CV 0 is the paper's homogeneous case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.kernel_plugin import Kernel
+from repro.core.patterns.bag_of_tasks import BagOfTasks
+from repro.exceptions import ConfigurationError
+
+__all__ = ["WorkloadSpec", "SyntheticBag", "generate_durations"]
+
+
+def generate_durations(
+    n: int,
+    mean: float,
+    cv: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw *n* lognormal durations with the given mean and CV.
+
+    For a lognormal, ``sigma^2 = ln(1 + cv^2)`` and
+    ``mu = ln(mean) - sigma^2 / 2`` reproduce the requested moments
+    exactly.  CV 0 returns the constant vector.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be >= 1")
+    if mean <= 0:
+        raise ConfigurationError("mean duration must be positive")
+    if cv < 0:
+        raise ConfigurationError("cv must be non-negative")
+    if cv == 0:
+        return np.full(n, float(mean))
+    sigma2 = math.log(1.0 + cv * cv)
+    mu = math.log(mean) - sigma2 / 2.0
+    return rng.lognormal(mean=mu, sigma=math.sqrt(sigma2), size=n)
+
+
+@dataclass
+class WorkloadSpec:
+    """Shape of one synthetic ensemble.
+
+    ``wide_fraction`` of the tasks are MPI units of ``wide_cores`` cores;
+    the rest are single-core.  Durations share one distribution regardless
+    of width (an MPI task occupying more cores for the same time is the
+    worst case for fragmentation).
+    """
+
+    ntasks: int
+    mean_duration: float = 100.0
+    duration_cv: float = 0.0
+    wide_fraction: float = 0.0
+    wide_cores: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ntasks < 1:
+            raise ConfigurationError("ntasks must be >= 1")
+        if not 0.0 <= self.wide_fraction <= 1.0:
+            raise ConfigurationError("wide_fraction must be in [0, 1]")
+        if self.wide_cores < 2:
+            raise ConfigurationError("wide_cores must be >= 2")
+
+    def realize(self) -> list[tuple[int, float]]:
+        """Return the concrete ``(cores, duration)`` list, deterministically."""
+        rng = np.random.default_rng(self.seed)
+        durations = generate_durations(
+            self.ntasks, self.mean_duration, self.duration_cv, rng
+        )
+        n_wide = int(round(self.wide_fraction * self.ntasks))
+        # Spread wide tasks evenly through the submission order, the
+        # adversarial interleaving for FIFO agents.
+        wide_positions = set(
+            np.linspace(0, self.ntasks - 1, n_wide).astype(int).tolist()
+            if n_wide
+            else []
+        )
+        return [
+            (self.wide_cores if i in wide_positions else 1, float(durations[i]))
+            for i in range(self.ntasks)
+        ]
+
+    @property
+    def total_core_seconds(self) -> float:
+        return sum(c * d for c, d in self.realize())
+
+
+class SyntheticBag(BagOfTasks):
+    """A bag of tasks realized from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        super().__init__(size=spec.ntasks)
+        self.spec = spec
+        self._shapes = spec.realize()
+
+    def task(self, instance: int) -> Kernel:
+        cores, duration = self._shapes[instance - 1]
+        kernel = Kernel(name="misc.sleep")
+        kernel.arguments = [f"--duration={duration}"]
+        kernel.cores = cores
+        kernel.uses_mpi = cores > 1
+        return kernel

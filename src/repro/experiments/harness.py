@@ -1,0 +1,74 @@
+"""Helpers shared by the figure runners."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analytics.metrics import group_units, phase_execution_time
+from repro.core.profiler import OverheadBreakdown, breakdown_from_profile
+from repro.core.resource_handle import ResourceHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.execution_pattern import ExecutionPattern
+
+__all__ = ["run_on_sim", "kernel_phase_times", "run_on_local"]
+
+
+def run_on_sim(
+    pattern: "ExecutionPattern",
+    resource: str,
+    cores: int,
+    walltime_minutes: float = 24 * 60.0,
+    seed: int = 0,
+    **handle_kwargs,
+) -> tuple["ExecutionPattern", ResourceHandle, OverheadBreakdown]:
+    """Run *pattern* on a simulated platform; return it with its breakdown."""
+    handle = ResourceHandle(
+        resource=resource,
+        cores=cores,
+        walltime=walltime_minutes,
+        mode="sim",
+        seed=seed,
+        **handle_kwargs,
+    )
+    handle.allocate()
+    try:
+        handle.run(pattern)
+    finally:
+        handle.deallocate()
+    breakdown = breakdown_from_profile(handle.profile, pattern)
+    return pattern, handle, breakdown
+
+
+def run_on_local(
+    pattern: "ExecutionPattern",
+    cores: int = 4,
+    walltime_minutes: float = 30.0,
+    **handle_kwargs,
+) -> tuple["ExecutionPattern", ResourceHandle, OverheadBreakdown]:
+    """Run *pattern* for real on this machine (examples and validation)."""
+    handle = ResourceHandle(
+        resource="local.localhost",
+        cores=cores,
+        walltime=walltime_minutes,
+        mode="local",
+        **handle_kwargs,
+    )
+    handle.allocate()
+    try:
+        handle.run(pattern)
+    finally:
+        handle.deallocate()
+    breakdown = breakdown_from_profile(handle.profile, pattern)
+    return pattern, handle, breakdown
+
+
+def kernel_phase_times(pattern: "ExecutionPattern") -> dict[str, float]:
+    """Wall time of each kernel-named phase of an executed pattern.
+
+    Groups the pattern's units by kernel name and takes the union length of
+    each group's EXECUTING intervals — the paper's per-phase metric
+    ("simulation time", "exchange time", "analysis time").
+    """
+    groups = group_units(pattern.units, lambda u: u.description.name)
+    return {name: phase_execution_time(units) for name, units in groups.items()}

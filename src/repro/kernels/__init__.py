@@ -1,0 +1,23 @@
+"""Built-in kernel plugin library.
+
+Importing this package registers every built-in plugin:
+
+=====================  =======================================================
+``misc.mkfile``        create a file of N characters (paper §IV.A, stage 1)
+``misc.ccount``        count characters in a file (paper §IV.A, stage 2)
+``misc.sleep``         sleep / model a fixed duration
+``misc.echo``          write a message to a file
+``md.amber``           toy-MD front-end modelling the Amber engine
+``md.gromacs``         toy-MD front-end modelling the Gromacs engine
+``analysis.coco``      CoCo: PCA + frontier sampling over all trajectories
+``analysis.lsdmap``    LSDMap: diffusion-map analysis of one trajectory set
+``exchange.temperature``  REMD temperature exchange (Metropolis)
+=====================  =======================================================
+"""
+
+from repro.kernels import misc  # noqa: F401  (registration side effect)
+from repro.kernels import md  # noqa: F401
+from repro.kernels import analysis  # noqa: F401
+from repro.kernels import exchange  # noqa: F401
+
+__all__ = ["misc", "md", "analysis", "exchange"]

@@ -1,0 +1,133 @@
+"""Analysis kernels: ``analysis.coco`` and ``analysis.lsdmap``.
+
+Both are *serial* global analyses over the trajectories of all simulation
+instances — staged into the analysis task's sandbox — exactly like the
+paper's CoCo and LSDMap stages.  Their modelled cost therefore grows with
+the ensemble's total frame count and is independent of the core count,
+which is what produces the flat analysis line in Fig. 7 and the growing
+one in Fig. 8.
+
+Common arguments
+----------------
+``--pattern``     glob of trajectory files in the sandbox (default
+                  ``traj_*.npz``)
+``--outfile``     result file name
+``--nframes``     *modelled* total frame count for the simulated mode
+                  (local execution counts the real frames instead)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernel_plugin import KernelPlugin, MachineConfig
+from repro.core.kernel_registry import kernel
+from repro.exceptions import KernelError
+from repro.md.analysis.coco import coco
+from repro.md.analysis.lsdmap import lsdmap
+from repro.md.trajectory import Trajectory
+
+__all__ = ["CoCoKernel", "LSDMapKernel"]
+
+
+def _load_samples(ctx) -> np.ndarray:
+    pattern = ctx.args.get("pattern", "traj_*.npz")
+    files = sorted(ctx.sandbox.glob(pattern))
+    if not files:
+        raise KernelError(
+            f"no trajectory files match {pattern!r} in {ctx.sandbox}"
+        )
+    positions = [Trajectory.load(f).positions for f in files]
+    return np.vstack(positions)
+
+
+@kernel
+class CoCoKernel(KernelPlugin):
+    """CoCo frontier sampling over all staged trajectories.
+
+    Extra arguments: ``--npoints`` (new start points to emit, default 1),
+    ``--grid-bins`` (default 10), ``--ncomponents`` (default 2).
+    Writes an ``.npz`` with ``new_points`` (and the PCA details).
+    """
+
+    name = "analysis.coco"
+    description = "CoCo: PCA + occupancy-grid frontier sampling"
+    machine_configs = {"*": MachineConfig(executable="pyCoCo")}
+
+    #: Modelled seconds per trajectory frame (serial pass + PCA).
+    PER_FRAME = 2.0e-4
+    #: Modelled fixed cost (imports, I/O setup).
+    BASE = 2.0
+
+    def execute(self, ctx):
+        samples = _load_samples(ctx)
+        result = coco(
+            samples,
+            n_points=int(ctx.args.get("npoints", "1")),
+            grid_bins=int(ctx.args.get("grid-bins", "10")),
+            n_components=int(ctx.args.get("ncomponents", "2")),
+        )
+        outfile = ctx.args.get("outfile", "coco_points.npz")
+        np.savez_compressed(
+            ctx.sandbox / outfile,
+            new_points=result.new_points,
+            mean=result.mean,
+            components=result.components,
+            explained_variance=result.explained_variance,
+            occupancy=np.float64(result.occupancy),
+        )
+        return {"n_new_points": len(result.new_points),
+                "occupancy": result.occupancy}
+
+    def duration(self, cores, platform, args) -> float:
+        nframes = int(args.get("nframes", "1000"))
+        # Serial analysis: cores do not help (the paper executes CoCo on
+        # one core and its runtime tracks the simulation count).
+        return self.BASE + self.PER_FRAME * nframes
+
+
+@kernel
+class LSDMapKernel(KernelPlugin):
+    """Diffusion-map analysis over all staged trajectories.
+
+    Extra arguments: ``--nev`` (eigenpairs, default 4), ``--local-scaling``
+    (``true``/``false``, default false), ``--max-samples`` (subsample cap
+    for the dense eigenproblem, default 1500).  Writes eigenvalues and
+    diffusion coordinates.
+    """
+
+    name = "analysis.lsdmap"
+    description = "LSDMap: locally-scaled diffusion map"
+    machine_configs = {"*": MachineConfig(executable="lsdmap")}
+
+    PER_FRAME = 2.5e-4
+    BASE = 2.5
+
+    def execute(self, ctx):
+        samples = _load_samples(ctx)
+        max_samples = int(ctx.args.get("max-samples", "1500"))
+        if len(samples) > max_samples:
+            # Uniform subsampling keeps the dense eigenproblem tractable,
+            # as the real tool does for large trajectory sets.
+            idx = np.linspace(0, len(samples) - 1, max_samples).astype(int)
+            samples = samples[idx]
+        result = lsdmap(
+            samples,
+            n_evecs=int(ctx.args.get("nev", "4")),
+            local_scaling=ctx.args.get("local-scaling", "false").lower() == "true",
+        )
+        outfile = ctx.args.get("outfile", "lsdmap.npz")
+        np.savez_compressed(
+            ctx.sandbox / outfile,
+            eigenvalues=result.eigenvalues,
+            eigenvectors=result.eigenvectors,
+            epsilon=result.epsilon,
+        )
+        return {
+            "eigenvalues": result.eigenvalues.tolist(),
+            "n_samples": len(samples),
+        }
+
+    def duration(self, cores, platform, args) -> float:
+        nframes = int(args.get("nframes", "1000"))
+        return self.BASE + self.PER_FRAME * nframes

@@ -1,0 +1,118 @@
+"""The REMD exchange kernel: ``exchange.temperature``.
+
+Implements the exchange stage of the paper's Fig. 5/6 workload.  Two modes
+match the two disciplines of the EE pattern:
+
+* ``--mode=global`` — read the final energies of *all* staged replica
+  trajectories, attempt neighbour swaps along the temperature ladder and
+  write the resulting temperature permutation.  Serial cost grows with the
+  replica count.
+* ``--mode=pair`` — a single Metropolis trial between two staged replicas
+  (pairwise EE mode).
+
+Arguments
+---------
+``--mode``          ``global`` (default) or ``pair``
+``--pattern``       glob of replica trajectory files (global mode)
+``--outfile``       result ``.npz``
+``--tmin, --tmax``  temperature-ladder bounds (global mode)
+``--phase``         0/1 neighbour-pairing phase (global mode, default 0)
+``--temp-a/--temp-b`` and ``--file-a/--file-b`` (pair mode)
+``--seed``          RNG seed for the Metropolis trials
+``--nreplicas``     *modelled* replica count for the simulated mode
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.kernel_plugin import KernelPlugin, MachineConfig
+from repro.core.kernel_registry import kernel
+from repro.exceptions import KernelError
+from repro.md.remd import attempt_neighbor_swaps, attempt_swap, geometric_ladder
+from repro.md.trajectory import Trajectory
+
+__all__ = ["TemperatureExchange"]
+
+
+@kernel
+class TemperatureExchange(KernelPlugin):
+    """Metropolis temperature exchange over staged replica trajectories."""
+
+    name = "exchange.temperature"
+    description = "REMD temperature exchange (Metropolis criterion)"
+    machine_configs = {"*": MachineConfig(executable="remd-exchange")}
+
+    #: Modelled serial cost per replica in the global exchange step.
+    PER_REPLICA = 0.005
+    BASE = 0.5
+
+    def execute(self, ctx):
+        mode = ctx.args.get("mode", "global")
+        seed = int(
+            ctx.args.get("seed", zlib.crc32(ctx.uid.encode()) & 0x7FFFFFFF)
+        )
+        rng = np.random.default_rng(seed)
+        if mode == "global":
+            return self._execute_global(ctx, rng)
+        if mode == "pair":
+            return self._execute_pair(ctx, rng)
+        raise KernelError(f"unknown exchange mode {mode!r}")
+
+    def _execute_global(self, ctx, rng):
+        pattern = ctx.args.get("pattern", "replica_*.npz")
+        files = sorted(ctx.sandbox.glob(pattern))
+        if len(files) < 2:
+            raise KernelError(
+                f"global exchange needs >= 2 replicas matching {pattern!r}"
+            )
+        trajectories = [Trajectory.load(f) for f in files]
+        energies = np.array([t.final_energy for t in trajectories])
+        t_min = float(ctx.args.get("tmin", "1.0"))
+        t_max = float(ctx.args.get("tmax", str(t_min * 4)))
+        temperatures = geometric_ladder(t_min, t_max, len(files))
+        phase = int(ctx.args.get("phase", "0"))
+        result = attempt_neighbor_swaps(energies, temperatures, rng, phase=phase)
+        outfile = ctx.args.get("outfile", "exchange.npz")
+        np.savez_compressed(
+            ctx.sandbox / outfile,
+            permutation=result.permutation,
+            temperatures=temperatures,
+            energies=energies,
+            accepted=np.int64(result.accepted),
+            attempted=np.int64(result.attempted),
+        )
+        return {
+            "attempted": result.attempted,
+            "accepted": result.accepted,
+            "acceptance_ratio": result.acceptance_ratio,
+        }
+
+    def _execute_pair(self, ctx, rng):
+        file_a = ctx.sandbox / ctx.arg("file-a")
+        file_b = ctx.sandbox / ctx.arg("file-b")
+        if not file_a.exists() or not file_b.exists():
+            raise KernelError("pair exchange: replica files missing")
+        traj_a = Trajectory.load(file_a)
+        traj_b = Trajectory.load(file_b)
+        temp_a = float(ctx.args.get("temp-a", str(traj_a.temperature)))
+        temp_b = float(ctx.args.get("temp-b", str(traj_b.temperature)))
+        swapped = attempt_swap(
+            traj_a.final_energy, traj_b.final_energy, temp_a, temp_b, rng
+        )
+        outfile = ctx.args.get("outfile", "exchange.npz")
+        np.savez_compressed(
+            ctx.sandbox / outfile,
+            swapped=np.bool_(swapped),
+            energies=np.array([traj_a.final_energy, traj_b.final_energy]),
+            temperatures=np.array([temp_a, temp_b]),
+        )
+        return {"swapped": bool(swapped)}
+
+    def duration(self, cores, platform, args) -> float:
+        if args.get("mode", "global") == "pair":
+            return self.BASE
+        nreplicas = int(args.get("nreplicas", "2"))
+        return self.BASE + self.PER_REPLICA * nreplicas

@@ -1,0 +1,143 @@
+"""MD engine kernels: ``md.amber`` and ``md.gromacs``.
+
+Both wrap the toy MD engine (:mod:`repro.md`); they differ in their
+modelled machine configurations (Gromacs is modelled ~25% faster per core
+than Amber on the same system, reflecting the usual throughput gap on
+small solvated systems).
+
+Arguments
+---------
+``--nsteps``        integration steps (``--duration-ps`` is accepted as an
+                    alternative: 1 ps == 500 steps, a 2 fs time step)
+``--system``        system name: ``ala2-2d`` (default) or ``mueller-brown``
+``--temperature``   thermostat temperature (default: system reference)
+``--outfile``       trajectory output (``.npz``) in the unit sandbox
+``--startfile``     optional ``.npz`` to start from: a prior trajectory
+                    (continues from its final frame) or a CoCo points file
+                    (uses ``--startindex``)
+``--startindex``    row of the CoCo points file to start from (default 0)
+``--seed``          RNG seed (default: derived from the unit uid)
+``--stride``        sampling stride in steps (default 10)
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.kernel_plugin import KernelPlugin, MachineConfig
+from repro.core.kernel_registry import kernel
+from repro.exceptions import KernelError
+from repro.md.engine import MDEngine
+from repro.md.system import alanine_dipeptide_surface, mueller_brown_system
+
+__all__ = ["AmberKernel", "GromacsKernel", "STEPS_PER_PS", "build_system"]
+
+#: 2 fs MD time step: 500 steps per picosecond.
+STEPS_PER_PS = 500
+
+_SYSTEMS = {
+    "ala2-2d": alanine_dipeptide_surface,
+    "mueller-brown": mueller_brown_system,
+}
+
+
+def build_system(name: str):
+    """Instantiate a named MD system (``ala2-2d`` or ``mueller-brown``)."""
+    try:
+        return _SYSTEMS[name]()
+    except KeyError:
+        raise KernelError(
+            f"unknown MD system {name!r} (known: {sorted(_SYSTEMS)})"
+        ) from None
+
+
+def _parse_nsteps(ctx_args: dict[str, str]) -> int:
+    if "nsteps" in ctx_args:
+        nsteps = int(ctx_args["nsteps"])
+    elif "duration-ps" in ctx_args:
+        nsteps = int(float(ctx_args["duration-ps"]) * STEPS_PER_PS)
+    else:
+        raise KernelError("MD kernels need --nsteps=... or --duration-ps=...")
+    if nsteps < 1:
+        raise KernelError("nsteps must be >= 1")
+    return nsteps
+
+
+class _MDEngineKernel(KernelPlugin):
+    """Shared implementation of the MD engine kernels."""
+
+    def execute(self, ctx):
+        nsteps = _parse_nsteps(ctx.args)
+        system = build_system(ctx.args.get("system", "ala2-2d"))
+        temperature = ctx.args.get("temperature")
+        temperature = float(temperature) if temperature is not None else None
+        stride = int(ctx.args.get("stride", "10"))
+        seed_arg = ctx.args.get("seed")
+        # Derive a stable per-unit seed so concurrent replicas decorrelate.
+        seed = (
+            int(seed_arg)
+            if seed_arg is not None
+            else zlib.crc32(ctx.uid.encode()) & 0x7FFFFFFF
+        )
+
+        x0 = None
+        startfile = ctx.args.get("startfile")
+        if startfile:
+            start_path = ctx.sandbox / startfile
+            if not start_path.exists():
+                raise KernelError(f"start file missing: {start_path}")
+            with np.load(start_path, allow_pickle=True) as data:
+                if "positions" in data:  # a prior trajectory
+                    x0 = data["positions"][-1]
+                elif "new_points" in data:  # a CoCo points file
+                    index = int(ctx.args.get("startindex", "0"))
+                    points = data["new_points"]
+                    x0 = points[index % len(points)]
+                else:
+                    raise KernelError(
+                        f"unrecognized start file contents: {start_path}"
+                    )
+
+        engine = MDEngine(system, seed=seed)
+        trajectory = engine.run(
+            nsteps,
+            temperature=temperature,
+            x0=x0,
+            stride=stride,
+            meta={"engine": self.name, "unit": ctx.uid},
+        )
+        outfile = ctx.args.get("outfile", "trajectory.npz")
+        trajectory.save(ctx.sandbox / outfile)
+        return {
+            "nframes": trajectory.nframes,
+            "final_energy": trajectory.final_energy,
+            "temperature": trajectory.temperature,
+        }
+
+    def duration(self, cores, platform, args) -> float:
+        nsteps = _parse_nsteps(args)
+        system = build_system(args.get("system", "ala2-2d"))
+        return MDEngine.modelled_seconds(nsteps, system.natoms, cores)
+
+
+@kernel
+class AmberKernel(_MDEngineKernel):
+    name = "md.amber"
+    description = "Amber MD engine (toy-MD backed)"
+    machine_configs = {
+        "*": MachineConfig(executable="pmemd", speed_factor=1.0),
+        "xsede.supermic": MachineConfig(executable="pmemd", speed_factor=1.0),
+        "xsede.stampede": MachineConfig(executable="pmemd.MPI", speed_factor=0.95),
+    }
+
+
+@kernel
+class GromacsKernel(_MDEngineKernel):
+    name = "md.gromacs"
+    description = "Gromacs MD engine (toy-MD backed)"
+    machine_configs = {
+        "*": MachineConfig(executable="gmx mdrun", speed_factor=1.25),
+        "xsede.comet": MachineConfig(executable="gmx_mpi mdrun", speed_factor=1.3),
+    }

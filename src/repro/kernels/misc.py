@@ -1,0 +1,105 @@
+"""Utility kernels: mkfile, ccount, sleep, echo.
+
+``misc.mkfile`` and ``misc.ccount`` are the two kernels of the paper's
+characterization application (§IV.A): stage 1 creates a file in each task,
+stage 2 counts the characters of the file produced by stage 1.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.kernel_plugin import KernelPlugin, MachineConfig
+from repro.core.kernel_registry import kernel
+from repro.exceptions import KernelError
+
+__all__ = ["MkFile", "CCount", "Sleep", "Echo"]
+
+#: Modelled throughput of character generation / counting, chars per second.
+#: Gives the few-second task durations of the paper's validation runs.
+_CHAR_RATE = 2e6
+#: Modelled fixed process cost of the tiny utility kernels, seconds.
+_BASE_COST = 1.0
+
+
+@kernel
+class MkFile(KernelPlugin):
+    """Create ``--filename`` containing ``--size`` characters."""
+
+    name = "misc.mkfile"
+    description = "create a file of N characters"
+    required_args = ("size", "filename")
+    machine_configs = {"*": MachineConfig(executable="/bin/dd")}
+
+    def execute(self, ctx) -> int:
+        size = int(ctx.arg("size"))
+        if size < 0:
+            raise KernelError("--size must be non-negative")
+        target = ctx.path("filename")
+        # Write in one go; sizes in the experiments are small (<= MBs).
+        target.write_text("#" * size)
+        return size
+
+    def duration(self, cores, platform, args) -> float:
+        return _BASE_COST + int(args["size"]) / _CHAR_RATE
+
+
+@kernel
+class CCount(KernelPlugin):
+    """Count characters of ``--inputfile`` into ``--outputfile``."""
+
+    name = "misc.ccount"
+    description = "count characters in a file"
+    required_args = ("inputfile", "outputfile")
+    machine_configs = {"*": MachineConfig(executable="/usr/bin/wc")}
+
+    def execute(self, ctx) -> int:
+        source = ctx.path("inputfile")
+        if not source.exists():
+            raise KernelError(f"input file missing: {source}")
+        count = len(source.read_text())
+        ctx.path("outputfile").write_text(f"{count}\n")
+        return count
+
+    def duration(self, cores, platform, args) -> float:
+        # Counting cost is modelled on the same rate as generation; the
+        # file size is not in the args, so charge the base cost (matches
+        # the paper's near-constant per-task times).
+        return _BASE_COST
+
+@kernel
+class Sleep(KernelPlugin):
+    """Sleep for ``--duration`` seconds (really, or on the virtual clock)."""
+
+    name = "misc.sleep"
+    description = "sleep for a fixed duration"
+    required_args = ("duration",)
+    machine_configs = {"*": MachineConfig(executable="/bin/sleep")}
+
+    def execute(self, ctx) -> float:
+        duration = float(ctx.arg("duration"))
+        if duration < 0:
+            raise KernelError("--duration must be non-negative")
+        time.sleep(duration)
+        return duration
+
+    def duration(self, cores, platform, args) -> float:
+        return float(args["duration"])
+
+
+@kernel
+class Echo(KernelPlugin):
+    """Write ``--message`` into ``--outputfile``."""
+
+    name = "misc.echo"
+    description = "write a message to a file"
+    required_args = ("message", "outputfile")
+    machine_configs = {"*": MachineConfig(executable="/bin/echo")}
+
+    def execute(self, ctx) -> str:
+        message = ctx.arg("message")
+        ctx.path("outputfile").write_text(message + "\n")
+        return message
+
+    def duration(self, cores, platform, args) -> float:
+        return 0.1

@@ -1,0 +1,49 @@
+"""A toy molecular-dynamics substrate.
+
+The paper's science workloads run Amber and Gromacs on solvated alanine
+dipeptide (2881 atoms) and analyze trajectories with CoCo and LSDMap.
+Neither MD engine is runnable here, so this package provides the smallest
+system that exercises the *same algorithmic paths*:
+
+* Langevin dynamics on 2-D reduced potentials — the φ/ψ-like double-well
+  of :func:`repro.md.system.alanine_dipeptide_surface` and the classic
+  Müller–Brown surface — with a BAOAB integrator;
+* trajectory containers with ``.npz`` persistence;
+* replica-exchange machinery (temperature ladders, Metropolis swap
+  criterion, neighbour pairing) in :mod:`repro.md.remd`;
+* real CoCo (PCA + occupancy-grid frontier sampling) and LSDMap
+  (Gaussian-kernel diffusion maps) implementations in
+  :mod:`repro.md.analysis`.
+
+Exchange decisions consume potential energies, CoCo/LSDMap consume
+low-dimensional projections of configurations: a 2-D surface feeds both
+exactly as a 2881-atom system would, at laptop cost (DESIGN.md §2).
+"""
+
+from repro.md.potentials import (
+    Potential,
+    DoubleWell2D,
+    MuellerBrown,
+    Harmonic,
+)
+from repro.md.system import MDSystem, alanine_dipeptide_surface, mueller_brown_system
+from repro.md.integrators import LangevinIntegrator
+from repro.md.engine import MDEngine
+from repro.md.trajectory import Trajectory
+from repro.md import remd
+from repro.md import analysis
+
+__all__ = [
+    "Potential",
+    "DoubleWell2D",
+    "MuellerBrown",
+    "Harmonic",
+    "MDSystem",
+    "alanine_dipeptide_surface",
+    "mueller_brown_system",
+    "LangevinIntegrator",
+    "MDEngine",
+    "Trajectory",
+    "remd",
+    "analysis",
+]

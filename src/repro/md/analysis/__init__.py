@@ -1,0 +1,19 @@
+"""Trajectory analysis: CoCo and LSDMap implementations."""
+
+from repro.md.analysis.coco import CoCoResult, coco
+from repro.md.analysis.lsdmap import DiffusionMapResult, lsdmap
+from repro.md.analysis.free_energy import (
+    FreeEnergyProfile,
+    boltzmann_weights,
+    free_energy_profile,
+)
+
+__all__ = [
+    "coco",
+    "CoCoResult",
+    "lsdmap",
+    "DiffusionMapResult",
+    "FreeEnergyProfile",
+    "free_energy_profile",
+    "boltzmann_weights",
+]

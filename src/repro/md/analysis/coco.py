@@ -1,0 +1,139 @@
+"""CoCo: Complementary Coordinates (Laughton, Orozco & Vranken 2009).
+
+The algorithm behind the paper's Amber-CoCo SAL workload (Fig. 7/8): given
+the pooled trajectories of all simulation instances, find where sampling is
+*missing* and emit new starting points there so the next iteration's
+simulations explore fresh territory.
+
+Implementation (faithful to the published method, reduced to our
+low-dimensional configurations):
+
+1. PCA over all sampled configurations.
+2. Project samples onto the first ``n_components`` PCs and lay an
+   ``grid_bins``-per-axis occupancy grid over the sampled bounding box.
+3. Rank *unoccupied* bins by their distance to occupied ones ("frontier
+   first") and return the inverse-PCA images of the emptiest bin centres
+   as the next round's start points.
+
+The cost of steps 1-3 is linear in the total number of frames and
+independent of how many cores ran the simulations — which is why the
+paper's analysis stage is serial and its duration grows with the ensemble
+size (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CoCoResult", "coco"]
+
+
+@dataclass
+class CoCoResult:
+    """Outcome of one CoCo analysis pass."""
+
+    #: New start points in configuration space, shape (n_points, dim).
+    new_points: np.ndarray
+    #: PCA mean, shape (dim,).
+    mean: np.ndarray
+    #: PCA components (rows), shape (n_components, dim).
+    components: np.ndarray
+    #: Explained variance of each kept component.
+    explained_variance: np.ndarray
+    #: Fraction of grid bins inside the sampled bounding box that are occupied.
+    occupancy: float
+
+
+def _pca(samples: np.ndarray, n_components: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Plain PCA via SVD; returns (mean, components, explained_variance)."""
+    mean = samples.mean(axis=0)
+    centered = samples - mean
+    # SVD of the (n, d) data matrix; rows of vt are principal axes.
+    _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+    variance = (s**2) / max(len(samples) - 1, 1)
+    return mean, vt[:n_components], variance[:n_components]
+
+
+def coco(
+    samples: np.ndarray,
+    n_points: int = 1,
+    grid_bins: int = 10,
+    n_components: int = 2,
+    rng: np.random.Generator | None = None,
+) -> CoCoResult:
+    """Run CoCo over pooled configurations.
+
+    Parameters
+    ----------
+    samples:
+        ``(nframes, dim)`` pooled configurations from all simulations.
+    n_points:
+        How many new start points to produce (== next iteration's ensemble
+        size in the SAL workload).
+    grid_bins:
+        Occupancy-grid resolution per PCA axis.
+    n_components:
+        Number of principal components spanning the grid (2 in the
+        published tool's default "frontier points" mode).
+    rng:
+        Used only to jitter tie-breaking among equally-distant empty bins.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2 or len(samples) < 2:
+        raise ValueError("samples must be (nframes >= 2, dim)")
+    if n_points < 1 or grid_bins < 2 or n_components < 1:
+        raise ValueError("n_points >= 1, grid_bins >= 2, n_components >= 1")
+    n_components = min(n_components, samples.shape[1])
+    rng = rng or np.random.default_rng(0)
+
+    mean, components, variance = _pca(samples, n_components)
+    projected = (samples - mean) @ components.T  # (n, k)
+
+    # Occupancy grid over the sampled bounding box (slightly padded so the
+    # extreme samples do not sit exactly on the boundary).
+    low = projected.min(axis=0)
+    high = projected.max(axis=0)
+    span = np.where(high > low, high - low, 1.0)
+    low = low - 0.05 * span
+    high = high + 0.05 * span
+    edges = [np.linspace(low[k], high[k], grid_bins + 1) for k in range(n_components)]
+
+    occupied, _ = np.histogramdd(projected, bins=edges)
+    occupied_mask = occupied > 0
+    occupancy = float(occupied_mask.mean())
+
+    centers = [0.5 * (e[1:] + e[:-1]) for e in edges]
+    mesh = np.meshgrid(*centers, indexing="ij")
+    all_centers = np.stack([m.ravel() for m in mesh], axis=1)  # (bins^k, k)
+    flat_occupied = occupied_mask.ravel()
+
+    if flat_occupied.all():
+        # Everything is sampled: fall back to the least-visited bins, the
+        # published tool's behaviour once the map saturates.
+        counts = occupied.ravel()
+        order = np.argsort(counts + rng.random(counts.shape) * 1e-9)
+        chosen = all_centers[order[:n_points]]
+    else:
+        empty_centers = all_centers[~flat_occupied]
+        occupied_centers = all_centers[flat_occupied]
+        # Distance of each empty bin to the nearest occupied bin; the
+        # frontier (largest distance) is where sampling is most lacking.
+        deltas = empty_centers[:, None, :] - occupied_centers[None, :, :]
+        nearest = np.sqrt((deltas**2).sum(axis=2)).min(axis=1)
+        order = np.argsort(-(nearest + rng.random(nearest.shape) * 1e-9))
+        chosen = empty_centers[order[:n_points]]
+        if len(chosen) < n_points:
+            # Not enough empty bins: round-robin repeat the frontier.
+            repeat = np.resize(np.arange(len(chosen)), n_points - len(chosen))
+            chosen = np.vstack([chosen, chosen[repeat]])
+
+    new_points = mean + chosen @ components  # inverse PCA map
+    return CoCoResult(
+        new_points=new_points,
+        mean=mean,
+        components=components,
+        explained_variance=variance,
+        occupancy=occupancy,
+    )

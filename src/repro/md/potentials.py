@@ -1,0 +1,139 @@
+"""Potential energy surfaces for the toy MD engine.
+
+All potentials are functions of low-dimensional coordinates ``x`` of shape
+``(dim,)`` or batched ``(n, dim)``; energies broadcast accordingly and
+forces are exact analytic gradients (verified against finite differences in
+the test suite).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Potential", "Harmonic", "DoubleWell2D", "MuellerBrown"]
+
+
+class Potential(abc.ABC):
+    """A differentiable potential energy surface."""
+
+    dim: int = 2
+
+    @abc.abstractmethod
+    def energy(self, x: np.ndarray) -> np.ndarray | float:
+        """Potential energy at *x* (batched if *x* is ``(n, dim)``)."""
+
+    @abc.abstractmethod
+    def force(self, x: np.ndarray) -> np.ndarray:
+        """Force ``-dU/dx`` at *x*, same shape as *x*."""
+
+    def _batch(self, x: np.ndarray) -> tuple[np.ndarray, bool]:
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            return x[None, :], True
+        return x, False
+
+
+class Harmonic(Potential):
+    """Isotropic harmonic well ``U = k/2 |x - x0|^2`` (any dimension)."""
+
+    def __init__(self, k: float = 1.0, x0: np.ndarray | None = None, dim: int = 2) -> None:
+        self.k = float(k)
+        self.dim = dim
+        self.x0 = np.zeros(dim) if x0 is None else np.asarray(x0, dtype=float)
+
+    def energy(self, x):
+        xb, single = self._batch(x)
+        e = 0.5 * self.k * np.sum((xb - self.x0) ** 2, axis=1)
+        return float(e[0]) if single else e
+
+    def force(self, x):
+        xb, single = self._batch(x)
+        f = -self.k * (xb - self.x0)
+        return f[0] if single else f
+
+
+class DoubleWell2D(Potential):
+    """A φ/ψ-like double well: two metastable basins along x, harmonic in y.
+
+    ``U(x, y) = h (x^2 - a^2)^2 / a^4 + k y^2 / 2``
+
+    Minima at ``(-a, 0)`` and ``(+a, 0)``, barrier height ``h`` at ``x=0``.
+    This is the reduced stand-in for alanine dipeptide's two backbone
+    conformers (C7eq / C7ax): replica exchange must cross the barrier, and
+    CoCo/LSDMap must discover the second basin — the same qualitative tasks
+    as on the real molecule.
+    """
+
+    dim = 2
+
+    def __init__(self, barrier: float = 5.0, a: float = 1.0, k: float = 4.0) -> None:
+        if barrier <= 0 or a <= 0 or k < 0:
+            raise ValueError("barrier and a must be positive, k non-negative")
+        self.h = float(barrier)
+        self.a = float(a)
+        self.k = float(k)
+
+    def energy(self, x):
+        xb, single = self._batch(x)
+        q, y = xb[:, 0], xb[:, 1]
+        e = self.h * (q**2 - self.a**2) ** 2 / self.a**4 + 0.5 * self.k * y**2
+        return float(e[0]) if single else e
+
+    def force(self, x):
+        xb, single = self._batch(x)
+        q, y = xb[:, 0], xb[:, 1]
+        fx = -4.0 * self.h * q * (q**2 - self.a**2) / self.a**4
+        fy = -self.k * y
+        f = np.stack([fx, fy], axis=1)
+        return f[0] if single else f
+
+    @property
+    def minima(self) -> np.ndarray:
+        return np.array([[-self.a, 0.0], [self.a, 0.0]])
+
+
+class MuellerBrown(Potential):
+    """The Müller–Brown surface, the standard 2-D test landscape.
+
+    Sum of four anisotropic Gaussians with the canonical parameters; three
+    minima connected by two saddle points.  Energies are conventionally in
+    the range [-150, +100] over the interesting region.
+    """
+
+    dim = 2
+
+    _A = np.array([-200.0, -100.0, -170.0, 15.0])
+    _a = np.array([-1.0, -1.0, -6.5, 0.7])
+    _b = np.array([0.0, 0.0, 11.0, 0.6])
+    _c = np.array([-10.0, -10.0, -6.5, 0.7])
+    _x0 = np.array([1.0, 0.0, -0.5, -1.0])
+    _y0 = np.array([0.0, 0.5, 1.5, 1.0])
+
+    #: Approximate locations of the three minima (deep to shallow).
+    minima = np.array([[-0.558, 1.442], [0.623, 0.028], [-0.050, 0.467]])
+
+    def _terms(self, xb: np.ndarray) -> np.ndarray:
+        dx = xb[:, 0:1] - self._x0[None, :]
+        dy = xb[:, 1:2] - self._y0[None, :]
+        return self._A[None, :] * np.exp(
+            self._a[None, :] * dx**2
+            + self._b[None, :] * dx * dy
+            + self._c[None, :] * dy**2
+        )
+
+    def energy(self, x):
+        xb, single = self._batch(x)
+        e = self._terms(xb).sum(axis=1)
+        return float(e[0]) if single else e
+
+    def force(self, x):
+        xb, single = self._batch(x)
+        dx = xb[:, 0:1] - self._x0[None, :]
+        dy = xb[:, 1:2] - self._y0[None, :]
+        terms = self._terms(xb)
+        dU_dx = (terms * (2.0 * self._a[None, :] * dx + self._b[None, :] * dy)).sum(axis=1)
+        dU_dy = (terms * (self._b[None, :] * dx + 2.0 * self._c[None, :] * dy)).sum(axis=1)
+        f = -np.stack([dU_dx, dU_dy], axis=1)
+        return f[0] if single else f

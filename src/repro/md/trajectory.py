@@ -1,0 +1,118 @@
+"""Trajectory container with ``.npz`` persistence.
+
+The MD kernels exchange trajectories between tasks as files in unit
+sandboxes (exactly how Amber restart/trajectory files flow through the
+paper's workloads), so the format must round-trip through disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Trajectory"]
+
+
+@dataclass
+class Trajectory:
+    """Positions, energies and metadata of one MD run.
+
+    Attributes
+    ----------
+    positions:
+        ``(nframes, dim)`` sampled coordinates.
+    energies:
+        ``(nframes,)`` potential energies of the samples.
+    temperature:
+        The thermostat temperature of the run.
+    dt:
+        Integration time step.
+    stride:
+        Steps between saved frames.
+    meta:
+        Free-form provenance (replica id, iteration, kernel name, ...).
+    """
+
+    positions: np.ndarray
+    energies: np.ndarray
+    temperature: float
+    dt: float = 0.01
+    stride: int = 1
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=float)
+        self.energies = np.asarray(self.energies, dtype=float)
+        if self.positions.ndim != 2:
+            raise ValueError("positions must be (nframes, dim)")
+        if len(self.energies) != len(self.positions):
+            raise ValueError("energies and positions length mismatch")
+
+    @property
+    def nframes(self) -> int:
+        return len(self.positions)
+
+    @property
+    def dim(self) -> int:
+        return self.positions.shape[1]
+
+    @property
+    def final_position(self) -> np.ndarray:
+        return self.positions[-1]
+
+    @property
+    def final_energy(self) -> float:
+        return float(self.energies[-1])
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trajectory as a compressed ``.npz``; returns the path."""
+        path = Path(path)
+        meta_keys = sorted(self.meta)
+        np.savez_compressed(
+            path,
+            positions=self.positions,
+            energies=self.energies,
+            temperature=np.float64(self.temperature),
+            dt=np.float64(self.dt),
+            stride=np.int64(self.stride),
+            meta_keys=np.array(meta_keys, dtype=object),
+            meta_values=np.array(
+                [str(self.meta[k]) for k in meta_keys], dtype=object
+            ),
+        )
+        # np.savez appends .npz when missing; normalize the return value.
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trajectory":
+        with np.load(path, allow_pickle=True) as data:
+            meta = dict(
+                zip(data["meta_keys"].tolist(), data["meta_values"].tolist())
+            )
+            return cls(
+                positions=data["positions"],
+                energies=data["energies"],
+                temperature=float(data["temperature"]),
+                dt=float(data["dt"]),
+                stride=int(data["stride"]),
+                meta=meta,
+            )
+
+    # -- composition -------------------------------------------------------------
+
+    def extend(self, other: "Trajectory") -> "Trajectory":
+        """Concatenate *other* after this trajectory (same dim required)."""
+        if other.dim != self.dim:
+            raise ValueError("cannot extend with a different-dimensional trajectory")
+        return Trajectory(
+            positions=np.vstack([self.positions, other.positions]),
+            energies=np.concatenate([self.energies, other.energies]),
+            temperature=other.temperature,
+            dt=other.dt,
+            stride=other.stride,
+            meta={**self.meta, **other.meta},
+        )

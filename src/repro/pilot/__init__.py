@@ -1,0 +1,44 @@
+"""A pilot-job runtime system (the package's RADICAL-Pilot equivalent).
+
+The paper (§III.C.2) delegates task execution, data movement and resource
+management to a pilot system: a *container job* is submitted to the target
+machine's batch queue, and once it becomes active an *agent* inside the
+allocation schedules any number of application tasks ("compute units") onto
+the held cores — decoupling workload size from instantaneously available
+resources.
+
+This package implements that architecture:
+
+* :class:`Session` — root object; owns the clock, the profiler and (in
+  simulated mode) the discrete-event context.
+* :class:`PilotManager` / :class:`ComputePilot` — submit and track container
+  jobs via the SAGA layer.
+* :class:`UnitManager` / :class:`ComputeUnit` — schedule units onto pilots
+  and track their state model.
+* :mod:`repro.pilot.agent` — the in-allocation agent: core-slot scheduling,
+  launch methods (serial and MPI-style), executors (really-run vs. DES) and
+  data staging.
+
+Both execution modes run through identical code paths; only the executor and
+the clock differ (see DESIGN.md §3).
+"""
+
+from repro.pilot.states import PilotState, UnitState
+from repro.pilot.description import ComputePilotDescription, ComputeUnitDescription
+from repro.pilot.unit import ComputeUnit
+from repro.pilot.pilot import ComputePilot
+from repro.pilot.session import Session
+from repro.pilot.pilot_manager import PilotManager
+from repro.pilot.unit_manager import UnitManager
+
+__all__ = [
+    "PilotState",
+    "UnitState",
+    "ComputePilotDescription",
+    "ComputeUnitDescription",
+    "ComputeUnit",
+    "ComputePilot",
+    "Session",
+    "PilotManager",
+    "UnitManager",
+]

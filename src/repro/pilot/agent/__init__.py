@@ -1,0 +1,23 @@
+"""The pilot agent: in-allocation scheduling and execution of units."""
+
+from repro.pilot.agent.slots import CoreSlotScheduler, ContiguousSlotScheduler, ScatteredSlotScheduler
+from repro.pilot.agent.launch_method import LaunchMethod, ForkLaunch, MPIExecLaunch, get_launch_method
+from repro.pilot.agent.staging import LocalStager, SimStager
+from repro.pilot.agent.executor import TaskContext, LocalExecutor, SimExecutor
+from repro.pilot.agent.agent import Agent
+
+__all__ = [
+    "CoreSlotScheduler",
+    "ContiguousSlotScheduler",
+    "ScatteredSlotScheduler",
+    "LaunchMethod",
+    "ForkLaunch",
+    "MPIExecLaunch",
+    "get_launch_method",
+    "LocalStager",
+    "SimStager",
+    "TaskContext",
+    "LocalExecutor",
+    "SimExecutor",
+    "Agent",
+]

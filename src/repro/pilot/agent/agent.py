@@ -1,0 +1,234 @@
+"""The pilot agent.
+
+Runs (notionally) inside the pilot's allocation.  It receives compute units
+from the unit manager, stages their inputs, queues them for cores, launches
+them through an executor and stages outputs — continuation-passing all the
+way, so the identical control flow serves threaded local execution and the
+single-threaded discrete-event simulation.
+
+Queue policies (the paper's agent inherits RADICAL-Pilot's):
+
+* ``backfill`` (default) — scan the whole wait queue, start everything that
+  fits.  Maximizes utilization; this is what produces the paper's linear
+  weak/strong scaling.
+* ``fifo`` — strict order: if the head does not fit, nothing starts.  Kept
+  for the scheduler ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.exceptions import SchedulingError
+from repro.pilot.agent.executor import LocalExecutor, SimExecutor
+from repro.pilot.agent.slots import make_slot_scheduler
+from repro.pilot.agent.staging import LocalStager, SimStager
+from repro.pilot.states import UnitState
+from repro.utils.logger import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from pathlib import Path
+
+    from repro.pilot.pilot import ComputePilot
+    from repro.pilot.session import Session
+    from repro.pilot.unit import ComputeUnit
+
+__all__ = ["Agent"]
+
+log = get_logger("pilot.agent")
+
+
+class Agent:
+    """In-allocation unit scheduler and executor frontend."""
+
+    def __init__(
+        self,
+        session: "Session",
+        pilot: "ComputePilot",
+        *,
+        policy: str = "backfill",
+        slot_strategy: str = "contiguous",
+        evaluate_payloads: bool = False,
+    ) -> None:
+        if policy not in ("backfill", "fifo"):
+            raise SchedulingError(f"unknown agent queue policy {policy!r}")
+        self.session = session
+        self.pilot = pilot
+        self.policy = policy
+        self.slots = make_slot_scheduler(slot_strategy, pilot.cores)
+        self._lock = threading.RLock()
+        self._waiting: deque["ComputeUnit"] = deque()
+        self._executing: dict[str, "ComputeUnit"] = {}
+        self._cancelled: set[str] = set()
+        self._started = False
+        self._unit_final_cb: Callable[["ComputeUnit"], Any] | None = None
+
+        if session.is_simulated:
+            self.stager = SimStager(session.sim_context)
+            self.executor: Any = SimExecutor(
+                session, evaluate_payloads=evaluate_payloads
+            )
+        else:
+            pilot_sandbox: "Path" = session.sandbox / pilot.uid  # type: ignore[operator]
+            pilot_sandbox.mkdir(parents=True, exist_ok=True)
+            self.pilot_sandbox = pilot_sandbox
+            self.stager = LocalStager(pilot_sandbox)
+            self.executor = LocalExecutor(session, pilot.cores)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Called when the pilot becomes ACTIVE; releases queued units."""
+        with self._lock:
+            self._started = True
+        self.session.prof.event("agent_start", self.pilot.uid)
+        self._reschedule()
+
+    def stop(self) -> None:
+        """Called at pilot teardown; cancels whatever is still queued."""
+        with self._lock:
+            waiting = list(self._waiting)
+            self._waiting.clear()
+        for unit in waiting:
+            unit.advance(UnitState.CANCELED)
+            self._notify_final(unit)
+        self.executor.shutdown()
+        self.session.prof.event("agent_stop", self.pilot.uid)
+
+    def on_unit_final(self, callback: Callable[["ComputeUnit"], Any]) -> None:
+        """Register the unit manager's completion hook."""
+        self._unit_final_cb = callback
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit_units(self, units: list["ComputeUnit"]) -> None:
+        """Accept units from the unit manager (any time after creation)."""
+        for unit in units:
+            if unit.description.cores > self.slots.total_cores:
+                unit.advance(UnitState.FAILED)
+                unit.exception = SchedulingError(
+                    f"unit {unit.uid} wants {unit.description.cores} cores; "
+                    f"pilot {self.pilot.uid} holds {self.slots.total_cores}"
+                )
+                self._notify_final(unit)
+                continue
+            unit.pilot_uid = self.pilot.uid
+            self.stager.register_unit(unit)
+            unit.advance(UnitState.AGENT_STAGING_INPUT)
+            try:
+                self.stager.stage_in(unit, lambda u=unit: self._on_staged_in(u))
+            except Exception as exc:  # staging failure fails the unit, not the agent
+                unit.exception = exc
+                unit.advance(UnitState.FAILED)
+                self._notify_final(unit)
+
+    def cancel_unit(self, unit: "ComputeUnit") -> None:
+        """Cancel a unit; waiting units are dequeued, running ones flagged."""
+        with self._lock:
+            self._cancelled.add(unit.uid)
+            if unit in self._waiting:
+                self._waiting.remove(unit)
+                to_cancel = True
+            else:
+                to_cancel = False
+        if to_cancel:
+            unit.advance(UnitState.CANCELED)
+            self._notify_final(unit)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _on_staged_in(self, unit: "ComputeUnit") -> None:
+        if unit.uid in self._cancelled:
+            unit.advance(UnitState.CANCELED)
+            self._notify_final(unit)
+            return
+        unit.advance(UnitState.AGENT_SCHEDULING)
+        with self._lock:
+            self._waiting.append(unit)
+        self._reschedule()
+
+    def _reschedule(self) -> None:
+        """Start every waiting unit the policy and free slots allow."""
+        launched: list["ComputeUnit"] = []
+        with self._lock:
+            if not self._started:
+                return
+            if self.policy == "fifo":
+                while self._waiting:
+                    head = self._waiting[0]
+                    slots = self.slots.alloc(head.description.cores)
+                    if slots is None:
+                        break
+                    self._waiting.popleft()
+                    head.slots = slots
+                    self._executing[head.uid] = head
+                    launched.append(head)
+            else:  # backfill
+                remaining: deque["ComputeUnit"] = deque()
+                while self._waiting:
+                    unit = self._waiting.popleft()
+                    slots = self.slots.alloc(unit.description.cores)
+                    if slots is None:
+                        remaining.append(unit)
+                        continue
+                    unit.slots = slots
+                    self._executing[unit.uid] = unit
+                    launched.append(unit)
+                self._waiting = remaining
+        for unit in launched:
+            self.session.prof.event(
+                "unit_slots", unit.uid, slots=len(unit.slots), pilot=self.pilot.uid
+            )
+            self.executor.launch(unit, self._on_unit_done)
+
+    def _on_unit_done(
+        self,
+        unit: "ComputeUnit",
+        ok: bool,
+        result: Any,
+        exception: BaseException | None,
+    ) -> None:
+        with self._lock:
+            self._executing.pop(unit.uid, None)
+            if unit.slots:
+                self.slots.dealloc(unit.slots)
+        if not ok:
+            unit.exception = exception
+            unit.advance(UnitState.FAILED)
+            self._notify_final(unit)
+            self._reschedule()
+            return
+        unit.result = result
+        unit.advance(UnitState.AGENT_STAGING_OUTPUT)
+        try:
+            self.stager.stage_out(unit, lambda u=unit: self._on_staged_out(u))
+        except Exception as exc:  # staging failure fails the unit, not the agent
+            unit.exception = exc
+            unit.advance(UnitState.FAILED)
+            self._notify_final(unit)
+        self._reschedule()
+
+    def _on_staged_out(self, unit: "ComputeUnit") -> None:
+        if unit.uid in self._cancelled:
+            unit.advance(UnitState.CANCELED)
+        else:
+            unit.advance(UnitState.DONE)
+        self._notify_final(unit)
+
+    def _notify_final(self, unit: "ComputeUnit") -> None:
+        if self._unit_final_cb is not None:
+            self._unit_final_cb(unit)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def waiting_units(self) -> int:
+        with self._lock:
+            return len(self._waiting)
+
+    @property
+    def executing_units(self) -> int:
+        with self._lock:
+            return len(self._executing)

@@ -1,0 +1,170 @@
+"""Unit executors: really run payloads, or model them on the virtual clock.
+
+Both executors expose one method::
+
+    launch(unit, on_done)   # on_done(unit, ok: bool, result, exception)
+
+and are responsible for advancing the unit into ``EXECUTING`` at the moment
+user code (really or notionally) starts.  The agent never needs to know
+which mode it is running in.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.pilot.agent.launch_method import get_launch_method
+from repro.pilot.description import ComputeUnitDescription
+from repro.pilot.states import UnitState
+from repro.utils.logger import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pilot.session import Session
+    from repro.pilot.unit import ComputeUnit
+
+__all__ = ["TaskContext", "LocalExecutor", "SimExecutor"]
+
+log = get_logger("pilot.agent.executor")
+
+DoneCallback = Callable[["ComputeUnit", bool, Any, BaseException | None], None]
+
+
+@dataclass
+class TaskContext:
+    """Everything a really-executing payload may use.
+
+    ``cores`` plays the role of the MPI world size: payloads that scale
+    split their work into ``cores`` shards (see the MD kernels).  ``args``
+    gives parsed ``--key=value`` kernel arguments.
+    """
+
+    description: ComputeUnitDescription
+    sandbox: Path | None
+    cores: int
+    uid: str
+    args: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def for_unit(cls, unit: "ComputeUnit") -> "TaskContext":
+        desc = unit.description
+        parsed: dict[str, str] = {}
+        for arg in desc.arguments:
+            if arg.startswith("--") and "=" in arg:
+                key, _, value = arg[2:].partition("=")
+                parsed[key] = value
+        sandbox = Path(unit.sandbox) if unit.sandbox else None
+        return cls(
+            description=desc,
+            sandbox=sandbox,
+            cores=desc.cores,
+            uid=unit.uid,
+            args=parsed,
+        )
+
+    def arg(self, name: str, default: str | None = None) -> str:
+        value = self.args.get(name, default)
+        if value is None:
+            raise KeyError(f"kernel argument --{name}=... is required")
+        return value
+
+    def path(self, name: str) -> Path:
+        """Resolve the file argument *name* inside the unit sandbox."""
+        if self.sandbox is None:
+            raise RuntimeError("task has no sandbox (simulated mode?)")
+        return self.sandbox / self.arg(name)
+
+
+class LocalExecutor:
+    """Run payloads in a thread pool on this machine.
+
+    The pool is sized to the pilot's core count; the agent's slot
+    accounting guarantees no more than that many units are in flight, so
+    every launched unit gets a worker immediately.
+    """
+
+    def __init__(self, session: "Session", total_cores: int) -> None:
+        self.session = session
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(total_cores, 1), thread_name_prefix="unit-exec"
+        )
+        self._shutdown = False
+
+    def launch(self, unit: "ComputeUnit", on_done: DoneCallback) -> None:
+        get_launch_method(unit.description)  # validates cores/mpi coherence
+        self._pool.submit(self._run, unit, on_done)
+
+    def _run(self, unit: "ComputeUnit", on_done: DoneCallback) -> None:
+        unit.advance(UnitState.EXECUTING)
+        try:
+            result = None
+            if unit.description.payload is not None:
+                result = unit.description.payload(TaskContext.for_unit(unit))
+        except BaseException as exc:  # noqa: BLE001 - task failure is data
+            log.debug("unit %s payload failed: %r", unit.uid, exc)
+            on_done(unit, False, None, exc)
+            return
+        on_done(unit, True, result, None)
+
+    def shutdown(self) -> None:
+        if not self._shutdown:
+            self._shutdown = True
+            self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+class SimExecutor:
+    """Model payload execution as a timed event on the virtual clock.
+
+    Modelled duration = launch overhead (per launch method) + the unit's
+    ``modelled_runtime`` on the session platform.  Payloads may still be
+    *evaluated* when ``evaluate_payloads`` is set — useful for validating
+    science results at small scale while keeping virtual timing — but by
+    default they are skipped.
+    """
+
+    def __init__(self, session: "Session", *, evaluate_payloads: bool = False) -> None:
+        if session.sim_context is None:
+            raise RuntimeError("SimExecutor requires a simulated session")
+        self.session = session
+        self.context = session.sim_context
+        self.evaluate_payloads = evaluate_payloads
+
+    def launch(self, unit: "ComputeUnit", on_done: DoneCallback) -> None:
+        method = get_launch_method(unit.description)
+        platform = self.context.platform
+        overhead = method.launch_overhead(unit.description.cores, platform)
+        runtime = unit.description.modelled_runtime(platform) / platform.node.core_speed
+        sim = self.context.sim
+        fault_offset = self.session.fault_model.draw(runtime)
+
+        def start() -> None:
+            unit.advance(UnitState.EXECUTING)
+            if fault_offset is not None:
+                sim.schedule(fault_offset, fail, label=f"fault:{unit.uid}")
+            else:
+                sim.schedule(runtime, finish, label=f"exec:{unit.uid}")
+
+        def fail() -> None:
+            from repro.pilot.faults import TaskFault
+
+            self.session.prof.event("task_fault", unit.uid,
+                                    at=fault_offset, runtime=runtime)
+            on_done(unit, False, None,
+                    TaskFault(f"injected fault in {unit.uid}"))
+
+        def finish() -> None:
+            result = None
+            if self.evaluate_payloads and unit.description.payload is not None:
+                try:
+                    result = unit.description.payload(TaskContext.for_unit(unit))
+                except BaseException as exc:  # noqa: BLE001
+                    on_done(unit, False, None, exc)
+                    return
+            on_done(unit, True, result, None)
+
+        sim.schedule(overhead, start, label=f"launch:{unit.uid}")
+
+    def shutdown(self) -> None:  # symmetry with LocalExecutor
+        pass

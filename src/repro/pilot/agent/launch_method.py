@@ -1,0 +1,91 @@
+"""Launch methods: how a unit's payload is started on its slots.
+
+On a real machine this is the difference between ``fork``/``ssh`` for
+serial tasks and ``mpirun``/``ibrun``/``aprun`` for MPI tasks.  Here a
+launch method contributes two things:
+
+* the *launch overhead* it adds (MPI startup costs scale mildly with the
+  number of ranks), and
+* the :class:`~repro.pilot.agent.executor.TaskContext` rank layout handed
+  to really-executing payloads (rank count = cores), which payloads may use
+  to split work, exactly like an MPI world size.
+
+The paper's Fig. 9 (MPI capability) exercises this layer: a unit holding N
+cores must both occupy N slots and run ~N× faster when its kernel scales.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cluster.platform import PlatformSpec
+from repro.exceptions import LaunchError
+from repro.pilot.description import ComputeUnitDescription
+
+__all__ = ["LaunchMethod", "ForkLaunch", "MPIExecLaunch", "get_launch_method"]
+
+
+class LaunchMethod(abc.ABC):
+    """Strategy object selected per unit by the executor."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def launch_overhead(self, cores: int, platform: PlatformSpec) -> float:
+        """Seconds between slot assignment and user code running."""
+
+    @abc.abstractmethod
+    def validate(self, description: ComputeUnitDescription) -> None:
+        """Raise :class:`LaunchError` if the unit cannot use this method."""
+
+    def command_line(self, description: ComputeUnitDescription) -> str:
+        """The equivalent shell command (for logs and provenance only)."""
+        args = " ".join(description.arguments)
+        return f"{description.executable} {args}".strip()
+
+
+class ForkLaunch(LaunchMethod):
+    """Plain process spawn for single-core units."""
+
+    name = "fork"
+
+    def launch_overhead(self, cores: int, platform: PlatformSpec) -> float:
+        return platform.unit_launch_overhead
+
+    def validate(self, description: ComputeUnitDescription) -> None:
+        if description.cores != 1:
+            raise LaunchError("fork launch method only supports 1-core units")
+
+
+class MPIExecLaunch(LaunchMethod):
+    """mpirun-style launch for multi-core (MPI) units.
+
+    Startup cost grows logarithmically with rank count, which is the usual
+    behaviour of tree-based MPI launchers.
+    """
+
+    name = "mpiexec"
+
+    def launch_overhead(self, cores: int, platform: PlatformSpec) -> float:
+        import math
+
+        return platform.unit_launch_overhead * (1.0 + math.log2(max(cores, 1)))
+
+    def validate(self, description: ComputeUnitDescription) -> None:
+        if not description.mpi:
+            raise LaunchError("mpiexec launch method requires mpi=True")
+
+    def command_line(self, description: ComputeUnitDescription) -> str:
+        base = super().command_line(description)
+        return f"mpirun -np {description.cores} {base}"
+
+
+_FORK = ForkLaunch()
+_MPI = MPIExecLaunch()
+
+
+def get_launch_method(description: ComputeUnitDescription) -> LaunchMethod:
+    """Pick and validate the launch method for *description*."""
+    method = _MPI if description.mpi else _FORK
+    method.validate(description)
+    return method

@@ -1,0 +1,120 @@
+"""Core-slot accounting inside a pilot.
+
+The agent owns ``cores`` slots (numbered 0..cores-1, node-major).  A unit
+occupies ``unit.description.cores`` slots from launch to completion.  Two
+allocation strategies are provided, mirroring RADICAL-Pilot's agent
+schedulers:
+
+* :class:`ContiguousSlotScheduler` — MPI-friendly: a unit gets one
+  contiguous block of cores (first fit).  Can fragment.
+* :class:`ScatteredSlotScheduler` — any free cores will do; never
+  fragments, but co-locates nothing.
+
+The invariant enforced here (and property-tested) is the paper-critical
+one: at no instant do occupied slots exceed the pilot size, and no slot is
+double-booked.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exceptions import SchedulingError
+
+__all__ = [
+    "CoreSlotScheduler",
+    "ContiguousSlotScheduler",
+    "ScatteredSlotScheduler",
+    "make_slot_scheduler",
+]
+
+
+class CoreSlotScheduler(abc.ABC):
+    """Tracks which of the pilot's cores are free."""
+
+    def __init__(self, total_cores: int) -> None:
+        if total_cores < 1:
+            raise SchedulingError("pilot must hold at least one core")
+        self.total_cores = total_cores
+        self._free = [True] * total_cores
+        self._nfree = total_cores
+
+    @property
+    def free_cores(self) -> int:
+        return self._nfree
+
+    @property
+    def used_cores(self) -> int:
+        return self.total_cores - self._nfree
+
+    def alloc(self, ncores: int) -> list[int] | None:
+        """Return *ncores* slot ids, or ``None`` if they are not available.
+
+        Raises :class:`SchedulingError` when the request can *never* be
+        satisfied (larger than the pilot), so callers fail fast instead of
+        queueing a unit forever.
+        """
+        if ncores < 1:
+            raise SchedulingError("must allocate at least one core")
+        if ncores > self.total_cores:
+            raise SchedulingError(
+                f"unit wants {ncores} cores; pilot holds {self.total_cores}"
+            )
+        if ncores > self._nfree:
+            return None
+        slots = self._pick(ncores)
+        if slots is None:
+            return None
+        for slot in slots:
+            if not self._free[slot]:
+                raise SchedulingError(f"slot {slot} double-booked (internal bug)")
+            self._free[slot] = False
+        self._nfree -= len(slots)
+        return slots
+
+    def dealloc(self, slots: list[int]) -> None:
+        for slot in slots:
+            if self._free[slot]:
+                raise SchedulingError(f"slot {slot} freed twice (internal bug)")
+            self._free[slot] = True
+        self._nfree += len(slots)
+
+    @abc.abstractmethod
+    def _pick(self, ncores: int) -> list[int] | None:
+        """Choose slots among the free ones (enough are free by contract)."""
+
+
+class ContiguousSlotScheduler(CoreSlotScheduler):
+    """First-fit contiguous block; may refuse due to fragmentation."""
+
+    def _pick(self, ncores: int) -> list[int] | None:
+        run_start = None
+        run_len = 0
+        for i, free in enumerate(self._free):
+            if free:
+                if run_start is None:
+                    run_start = i
+                run_len += 1
+                if run_len == ncores:
+                    return list(range(run_start, run_start + ncores))
+            else:
+                run_start = None
+                run_len = 0
+        return None
+
+
+class ScatteredSlotScheduler(CoreSlotScheduler):
+    """Lowest-numbered free cores, contiguous or not; never fragments."""
+
+    def _pick(self, ncores: int) -> list[int] | None:
+        slots = [i for i, free in enumerate(self._free) if free][:ncores]
+        return slots if len(slots) == ncores else None
+
+
+def make_slot_scheduler(kind: str, total_cores: int) -> CoreSlotScheduler:
+    """Factory: ``"contiguous"`` or ``"scattered"``."""
+    if kind == "contiguous":
+        return ContiguousSlotScheduler(total_cores)
+    if kind == "scattered":
+        return ScatteredSlotScheduler(total_cores)
+    raise SchedulingError(f"unknown slot scheduler {kind!r}")

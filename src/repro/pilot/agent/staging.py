@@ -1,0 +1,135 @@
+"""Data staging between sandboxes.
+
+Each unit runs in its own *sandbox* directory under the pilot sandbox.
+Staging directives move data in before execution and out after it.  Paths
+may use placeholders:
+
+* ``$PILOT_SANDBOX``        — the pilot's shared directory,
+* ``$UNIT_<uid>``           — another unit's sandbox (dependency outputs),
+* ``$SHARED``               — alias of the pilot sandbox (EnTK convention).
+
+The local stager really links/copies files; the simulated stager charges
+modelled transfer time against the platform's shared-filesystem model.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.exceptions import StagingError
+from repro.pilot.description import StagingDirective
+from repro.utils.logger import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pilot.unit import ComputeUnit
+    from repro.saga.adaptors.sim import SimContext
+
+__all__ = ["resolve_placeholders", "LocalStager", "SimStager"]
+
+log = get_logger("pilot.agent.staging")
+
+
+def resolve_placeholders(path: str, pilot_sandbox: Path, unit_sandboxes: dict[str, Path]) -> Path:
+    """Expand ``$PILOT_SANDBOX`` / ``$SHARED`` / ``$UNIT_<uid>`` in *path*."""
+    if path.startswith("$PILOT_SANDBOX") or path.startswith("$SHARED"):
+        prefix = "$PILOT_SANDBOX" if path.startswith("$PILOT_SANDBOX") else "$SHARED"
+        rest = path[len(prefix):].lstrip("/")
+        return pilot_sandbox / rest if rest else pilot_sandbox
+    if path.startswith("$UNIT_"):
+        head, _, rest = path.partition("/")
+        uid = head[len("$UNIT_"):]
+        if uid not in unit_sandboxes:
+            raise StagingError(f"unknown unit sandbox in staging path: {path!r}")
+        return unit_sandboxes[uid] / rest if rest else unit_sandboxes[uid]
+    return Path(path)
+
+
+class LocalStager:
+    """Real file operations between real sandboxes."""
+
+    def __init__(self, pilot_sandbox: Path) -> None:
+        self.pilot_sandbox = pilot_sandbox
+        self.unit_sandboxes: dict[str, Path] = {}
+
+    def register_unit(self, unit: "ComputeUnit") -> Path:
+        """Create (and remember) the unit's sandbox directory."""
+        sandbox = self.pilot_sandbox / unit.uid
+        sandbox.mkdir(parents=True, exist_ok=True)
+        self.unit_sandboxes[unit.uid] = sandbox
+        unit.sandbox = str(sandbox)
+        return sandbox
+
+    def _resolve(self, path: str, default_base: Path) -> Path:
+        resolved = resolve_placeholders(path, self.pilot_sandbox, self.unit_sandboxes)
+        if not resolved.is_absolute():
+            resolved = default_base / resolved
+        return resolved
+
+    def _apply(self, directive: StagingDirective, src_base: Path, dst_base: Path) -> None:
+        source = self._resolve(directive.source, src_base)
+        target = self._resolve(directive.target, dst_base)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        if not source.exists():
+            raise StagingError(f"staging source does not exist: {source}")
+        if directive.action == "link":
+            if target.exists() or target.is_symlink():
+                target.unlink()
+            target.symlink_to(source)
+        else:  # copy and transfer are both real copies locally
+            if source.is_dir():
+                shutil.copytree(source, target, dirs_exist_ok=True)
+            else:
+                shutil.copy2(source, target)
+
+    def stage_in(self, unit: "ComputeUnit", done: Callable[[], None]) -> None:
+        sandbox = self.unit_sandboxes[unit.uid]
+        for directive in unit.description.input_staging:
+            self._apply(directive, self.pilot_sandbox, sandbox)
+        done()
+
+    def stage_out(self, unit: "ComputeUnit", done: Callable[[], None]) -> None:
+        sandbox = self.unit_sandboxes[unit.uid]
+        for directive in unit.description.output_staging:
+            self._apply(directive, sandbox, self.pilot_sandbox)
+        done()
+
+
+class SimStager:
+    """Charge modelled transfer time on the virtual clock."""
+
+    def __init__(self, context: "SimContext") -> None:
+        self.context = context
+        self.unit_sandboxes: dict[str, Path] = {}
+
+    def register_unit(self, unit: "ComputeUnit") -> Path:
+        # Sandboxes are notional under simulation; remember a fake path so
+        # placeholder resolution still validates unit references.
+        sandbox = Path("/sim") / unit.uid
+        self.unit_sandboxes[unit.uid] = sandbox
+        unit.sandbox = str(sandbox)
+        return sandbox
+
+    def _cost(self, directives: list[StagingDirective]) -> float:
+        fs = self.context.filesystem
+        total = 0.0
+        for directive in directives:
+            if directive.action == "link":
+                continue  # metadata-only
+            total += fs.transfer_time(directive.nbytes)
+        return total
+
+    def stage_in(self, unit: "ComputeUnit", done: Callable[[], None]) -> None:
+        self.context.sim.schedule(
+            self._cost(unit.description.input_staging),
+            done,
+            label=f"stage_in:{unit.uid}",
+        )
+
+    def stage_out(self, unit: "ComputeUnit", done: Callable[[], None]) -> None:
+        self.context.sim.schedule(
+            self._cost(unit.description.output_staging),
+            done,
+            label=f"stage_out:{unit.uid}",
+        )

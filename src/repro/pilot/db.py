@@ -1,0 +1,64 @@
+"""In-memory session store.
+
+RADICAL-Pilot coordinates its client and agent components through a MongoDB
+instance; the experiments in the paper never exercise persistence, only the
+coordination latency (which our network model charges).  This module keeps
+the same insert/update/find surface over plain dictionaries so components
+stay decoupled the way the original architecture intends.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from typing import Any
+
+__all__ = ["SessionStore"]
+
+
+class SessionStore:
+    """A tiny document store: named collections of dict documents."""
+
+    def __init__(self) -> None:
+        self._collections: dict[str, dict[str, dict[str, Any]]] = {}
+        self._lock = threading.RLock()
+
+    def insert(self, collection: str, uid: str, document: dict[str, Any]) -> None:
+        with self._lock:
+            docs = self._collections.setdefault(collection, {})
+            if uid in docs:
+                raise KeyError(f"{collection}/{uid} already exists")
+            docs[uid] = copy.deepcopy(document) | {"_id": uid}
+
+    def update(self, collection: str, uid: str, fields: dict[str, Any]) -> None:
+        with self._lock:
+            try:
+                doc = self._collections[collection][uid]
+            except KeyError:
+                raise KeyError(f"{collection}/{uid} not found") from None
+            doc.update(copy.deepcopy(fields))
+
+    def get(self, collection: str, uid: str) -> dict[str, Any]:
+        with self._lock:
+            try:
+                return copy.deepcopy(self._collections[collection][uid])
+            except KeyError:
+                raise KeyError(f"{collection}/{uid} not found") from None
+
+    def find(self, collection: str, **criteria: Any) -> list[dict[str, Any]]:
+        """All documents whose fields equal every criterion."""
+        with self._lock:
+            docs = list(self._collections.get(collection, {}).values())
+        return [
+            copy.deepcopy(doc)
+            for doc in docs
+            if all(doc.get(key) == value for key, value in criteria.items())
+        ]
+
+    def count(self, collection: str) -> int:
+        with self._lock:
+            return len(self._collections.get(collection, {}))
+
+    def collections(self) -> list[str]:
+        with self._lock:
+            return sorted(self._collections)

@@ -1,0 +1,158 @@
+"""The pilot manager: submits and tears down pilots through SAGA."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exceptions import PilotError
+from repro.pilot.agent.agent import Agent
+from repro.pilot.description import ComputePilotDescription
+from repro.pilot.pilot import ComputePilot
+from repro.pilot.states import PilotState
+from repro.saga.job import JobDescription, JobService
+from repro.saga.states import JobState
+from repro.utils.logger import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pilot.session import Session
+
+__all__ = ["PilotManager"]
+
+log = get_logger("pilot.pmgr")
+
+
+class PilotManager:
+    """Creates pilots, launches their container jobs, attaches agents."""
+
+    def __init__(self, session: "Session", **agent_options) -> None:
+        self.session = session
+        self.uid = "pmgr." + session.uid
+        self.pilots: list[ComputePilot] = []
+        self._agent_options = agent_options
+        self._services: dict[str, JobService] = {}
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit_pilots(
+        self, descriptions: list[ComputePilotDescription] | ComputePilotDescription
+    ) -> list[ComputePilot]:
+        """Launch one container job per description; returns pilot handles."""
+        if isinstance(descriptions, ComputePilotDescription):
+            descriptions = [descriptions]
+        pilots = []
+        for description in descriptions:
+            pilots.append(self._submit_one(description))
+        return pilots
+
+    def _submit_one(self, description: ComputePilotDescription) -> ComputePilot:
+        description.validate()
+        if description.mode != self.session.mode:
+            raise PilotError(
+                f"pilot mode {description.mode!r} does not match session "
+                f"mode {self.session.mode!r}"
+            )
+        pilot = ComputePilot(description, self.session)
+        pilot.agent = Agent(self.session, pilot, **self._agent_options)
+        self.session.prof.event("pilot_submit", pilot.uid, cores=description.cores)
+
+        if self.session.is_simulated:
+            self._launch_sim(pilot)
+        else:
+            self._launch_local(pilot)
+        self.pilots.append(pilot)
+        self.session.store.insert(
+            "pilots",
+            pilot.uid,
+            {"resource": description.resource, "cores": description.cores},
+        )
+        return pilot
+
+    def _launch_sim(self, pilot: ComputePilot) -> None:
+        context = self.session.sim_context
+        service = JobService(f"sim://{pilot.description.resource}", context=context)
+        self._services[pilot.uid] = service
+
+        def payload(job) -> None:
+            # Container job started: the agent bootstraps, then goes ACTIVE.
+            def bootstrap_done() -> None:
+                if pilot.state is PilotState.PENDING:
+                    pilot.advance(PilotState.ACTIVE)
+                    pilot.agent.start()
+
+            context.sim.schedule(
+                context.platform.agent_bootstrap,
+                bootstrap_done,
+                label=f"bootstrap:{pilot.uid}",
+            )
+
+        def on_job_state(job, state: JobState) -> None:
+            if state is JobState.FAILED and not pilot.state.is_final:
+                pilot.agent.stop()
+                pilot.advance(PilotState.FAILED)
+            elif state is JobState.CANCELED and not pilot.state.is_final:
+                pilot.agent.stop()
+                pilot.advance(PilotState.CANCELED)
+
+        job = service.create_job(
+            JobDescription(
+                name=pilot.uid,
+                executable="pilot-agent",
+                total_cpu_count=pilot.cores,
+                wall_time_limit=pilot.description.runtime * 60.0,
+                payload=payload,
+            )
+        )
+        job.add_callback(on_job_state)
+        pilot.saga_job = job
+        pilot.advance(PilotState.PENDING)
+        job.run()
+
+    def _launch_local(self, pilot: ComputePilot) -> None:
+        service = JobService("fork://localhost")
+        self._services[pilot.uid] = service
+
+        def payload(job) -> None:
+            # The container job thread *is* the allocation: it stays alive
+            # until the pilot is finalized, exactly like a real batch job.
+            pilot.advance(PilotState.ACTIVE)
+            pilot.agent.start()
+            pilot._final_event.wait(timeout=pilot.description.runtime * 60.0)
+
+        job = service.create_job(
+            JobDescription(
+                name=pilot.uid,
+                executable="pilot-agent",
+                total_cpu_count=pilot.cores,
+                wall_time_limit=pilot.description.runtime * 60.0,
+                payload=payload,
+            )
+        )
+        pilot.saga_job = job
+        pilot.advance(PilotState.PENDING)
+        job.run()
+
+    # -- teardown -----------------------------------------------------------------
+
+    def cancel_pilots(self, pilots: list[ComputePilot] | None = None) -> None:
+        """Cancel *pilots* (default: all owned) and release their resources."""
+        for pilot in pilots if pilots is not None else list(self.pilots):
+            if pilot.state.is_final:
+                continue
+            self.session.prof.event("pilot_cancel", pilot.uid)
+            pilot.agent.stop()
+            pilot.advance(PilotState.CANCELED)
+            if pilot.saga_job is not None:
+                pilot.saga_job.cancel()
+
+    def wait_pilots_active(self, timeout: float | None = None) -> None:
+        """Local mode: block until every pilot is ACTIVE.  Sim: advance DES."""
+        if self.session.is_simulated:
+            sim = self.session.sim
+            while any(
+                p.state in (PilotState.NEW, PilotState.PENDING) for p in self.pilots
+            ):
+                if sim.step() is None:
+                    raise PilotError("simulation drained before pilots activated")
+            return
+        for pilot in self.pilots:
+            pilot.wait_active(timeout)

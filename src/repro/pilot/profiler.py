@@ -1,0 +1,94 @@
+"""Append-only event tracing.
+
+Every state transition and every notable runtime action lands in one
+:class:`Profiler` as ``(time, name, uid, attrs)``.  The analytics layer
+(:mod:`repro.analytics`) turns these traces into the paper's TTC and
+overhead decompositions; nothing else in the runtime ever reads the trace,
+so profiling cannot perturb scheduling decisions.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["ProfileEvent", "Profiler"]
+
+
+@dataclass(frozen=True)
+class ProfileEvent:
+    time: float
+    name: str
+    uid: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class Profiler:
+    """Thread-safe, append-only event trace."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._events: list[ProfileEvent] = []
+        self._lock = threading.Lock()
+
+    def event(self, name: str, uid: str = "", **attrs: Any) -> ProfileEvent:
+        """Record one event stamped with the session clock."""
+        ev = ProfileEvent(self._clock(), name, uid, attrs)
+        with self._lock:
+            self._events.append(ev)
+        return ev
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ProfileEvent]:
+        with self._lock:
+            return iter(list(self._events))
+
+    def events(self, name: str | None = None, uid: str | None = None) -> list[ProfileEvent]:
+        """Events filtered by name and/or uid, in recording order."""
+        with self._lock:
+            snapshot = list(self._events)
+        return [
+            ev
+            for ev in snapshot
+            if (name is None or ev.name == name) and (uid is None or ev.uid == uid)
+        ]
+
+    def first(self, name: str, uid: str | None = None) -> ProfileEvent | None:
+        matches = self.events(name, uid)
+        return matches[0] if matches else None
+
+    def last(self, name: str, uid: str | None = None) -> ProfileEvent | None:
+        matches = self.events(name, uid)
+        return matches[-1] if matches else None
+
+    def span(self, start_name: str, end_name: str, uid: str | None = None) -> float | None:
+        """Seconds from the first *start_name* to the last *end_name*."""
+        start = self.first(start_name, uid)
+        end = self.last(end_name, uid)
+        if start is None or end is None:
+            return None
+        return end.time - start.time
+
+    # -- persistence ---------------------------------------------------------
+
+    def write_jsonl(self, path) -> int:
+        """Dump the trace as JSON lines (one event per line); returns the
+        event count.  The format matches what RADICAL-Analytics-style
+        post-processing expects: ``{"time", "name", "uid", **attrs}``."""
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        with self._lock:
+            snapshot = list(self._events)
+        with path.open("w") as stream:
+            for ev in snapshot:
+                record = {"time": ev.time, "name": ev.name, "uid": ev.uid}
+                record.update(ev.attrs)
+                stream.write(json.dumps(record, default=str) + "\n")
+        return len(snapshot)

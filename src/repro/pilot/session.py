@@ -1,0 +1,136 @@
+"""The pilot session: root object of one runtime instance."""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.cluster.platforms import get_platform
+from repro.eventsim import RandomStreams
+from repro.exceptions import ConfigurationError
+from repro.pilot.db import SessionStore
+from repro.pilot.faults import FaultModel
+from repro.pilot.profiler import Profiler
+from repro.saga.adaptors.sim import SimContext
+from repro.utils.ids import generate_id
+from repro.utils.logger import get_logger
+from repro.utils.timing import WallClock
+
+__all__ = ["Session"]
+
+log = get_logger("pilot.session")
+
+
+class Session:
+    """Owns the clock, profiler, store and (if simulated) the DES context.
+
+    Parameters
+    ----------
+    mode:
+        ``"local"`` — tasks really execute on this machine, wall clock.
+        ``"sim"`` — everything advances on a virtual clock against the
+        simulated *platform*.
+    platform:
+        Platform name for simulated sessions (ignored for local ones, which
+        always use the ``local.localhost`` profile).
+    sandbox:
+        Directory for unit sandboxes in local mode.  A temporary directory
+        is created (and removed on :meth:`close`) when omitted.
+    seed:
+        Master seed of the simulation's random streams.
+    model_queue_wait:
+        Whether the simulated batch queue adds stochastic queue waits.
+    """
+
+    def __init__(
+        self,
+        mode: str = "local",
+        platform: str = "local.localhost",
+        sandbox: str | Path | None = None,
+        seed: int = 0,
+        model_queue_wait: bool = False,
+        fault_rate: float = 0.0,
+    ) -> None:
+        if mode not in ("local", "sim"):
+            raise ConfigurationError(f"unknown session mode {mode!r}")
+        self.uid = generate_id("session")
+        self.mode = mode
+        self.platform = get_platform(platform)
+        self.store = SessionStore()
+        self.closed = False
+
+        if mode == "sim":
+            self.sim_context = SimContext(
+                platform=self.platform,
+                streams=RandomStreams(seed),
+                model_queue_wait=model_queue_wait,
+            )
+            self.fault_model = FaultModel(fault_rate).bind(
+                self.sim_context.streams
+            )
+            self._clock = self.sim_context.sim.clock
+            self._own_sandbox = False
+            self.sandbox = None
+        else:
+            if fault_rate:
+                raise ConfigurationError(
+                    "fault injection is a simulated-mode feature"
+                )
+            self.sim_context = None
+            self.fault_model = FaultModel(0.0)
+            self._clock = WallClock()
+            if sandbox is None:
+                self.sandbox = Path(tempfile.mkdtemp(prefix=f"repro-{self.uid}-"))
+                self._own_sandbox = True
+            else:
+                self.sandbox = Path(sandbox)
+                self.sandbox.mkdir(parents=True, exist_ok=True)
+                self._own_sandbox = False
+
+        self.prof = Profiler(self._clock.now)
+        self.prof.event("session_start", self.uid, mode=mode, platform=platform)
+        self.store.insert("sessions", self.uid, {"mode": mode, "platform": platform})
+
+    # -- time ------------------------------------------------------------------
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    @property
+    def is_simulated(self) -> bool:
+        return self.mode == "sim"
+
+    @property
+    def sim(self):
+        """The discrete-event simulator (simulated sessions only)."""
+        if self.sim_context is None:
+            raise ConfigurationError("local sessions have no simulator")
+        return self.sim_context.sim
+
+    def run_events(self) -> None:
+        """Drain the simulator (no-op for local sessions)."""
+        if self.sim_context is not None:
+            self.sim_context.sim.run()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self, *, cleanup: bool = True) -> None:
+        """Finalize the session; remove owned sandboxes when *cleanup*."""
+        if self.closed:
+            return
+        self.prof.event("session_close", self.uid)
+        if (
+            cleanup
+            and self._own_sandbox
+            and self.sandbox is not None
+            and self.sandbox.exists()
+        ):
+            shutil.rmtree(self.sandbox, ignore_errors=True)
+        self.closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

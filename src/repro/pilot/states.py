@@ -1,0 +1,99 @@
+"""State models of pilots and compute units.
+
+The unit model follows RADICAL-Pilot's split between client-side (unit
+manager) and agent-side states, because the paper's overhead decomposition
+(Fig. 3) hangs durations off exactly these transitions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import StateTransitionError
+
+__all__ = ["PilotState", "UnitState", "validate_pilot_edge", "validate_unit_edge"]
+
+
+class PilotState(str, enum.Enum):
+    """NEW -> PENDING -> ACTIVE -> {DONE, FAILED, CANCELED}."""
+
+    NEW = "NEW"
+    PENDING = "PENDING"
+    ACTIVE = "ACTIVE"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELED = "CANCELED"
+
+    @property
+    def is_final(self) -> bool:
+        return self in (PilotState.DONE, PilotState.FAILED, PilotState.CANCELED)
+
+
+_PILOT_EDGES: dict[PilotState, frozenset[PilotState]] = {
+    PilotState.NEW: frozenset(
+        {PilotState.PENDING, PilotState.FAILED, PilotState.CANCELED}
+    ),
+    PilotState.PENDING: frozenset(
+        {PilotState.ACTIVE, PilotState.FAILED, PilotState.CANCELED}
+    ),
+    PilotState.ACTIVE: frozenset(
+        {PilotState.DONE, PilotState.FAILED, PilotState.CANCELED}
+    ),
+    PilotState.DONE: frozenset(),
+    PilotState.FAILED: frozenset(),
+    PilotState.CANCELED: frozenset(),
+}
+
+
+class UnitState(str, enum.Enum):
+    """Client-side then agent-side unit states.
+
+    NEW -> UMGR_SCHEDULING -> AGENT_STAGING_INPUT -> AGENT_SCHEDULING
+        -> EXECUTING -> AGENT_STAGING_OUTPUT -> DONE
+    with FAILED/CANCELED reachable from every non-final state.
+    """
+
+    NEW = "NEW"
+    UMGR_SCHEDULING = "UMGR_SCHEDULING"
+    AGENT_STAGING_INPUT = "AGENT_STAGING_INPUT"
+    AGENT_SCHEDULING = "AGENT_SCHEDULING"
+    EXECUTING = "EXECUTING"
+    AGENT_STAGING_OUTPUT = "AGENT_STAGING_OUTPUT"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELED = "CANCELED"
+
+    @property
+    def is_final(self) -> bool:
+        return self in (UnitState.DONE, UnitState.FAILED, UnitState.CANCELED)
+
+
+_UNIT_ORDER = [
+    UnitState.NEW,
+    UnitState.UMGR_SCHEDULING,
+    UnitState.AGENT_STAGING_INPUT,
+    UnitState.AGENT_SCHEDULING,
+    UnitState.EXECUTING,
+    UnitState.AGENT_STAGING_OUTPUT,
+    UnitState.DONE,
+]
+
+_UNIT_EDGES: dict[UnitState, frozenset[UnitState]] = {
+    state: frozenset(
+        {_UNIT_ORDER[i + 1], UnitState.FAILED, UnitState.CANCELED}
+    )
+    for i, state in enumerate(_UNIT_ORDER[:-1])
+}
+_UNIT_EDGES[UnitState.DONE] = frozenset()
+_UNIT_EDGES[UnitState.FAILED] = frozenset()
+_UNIT_EDGES[UnitState.CANCELED] = frozenset()
+
+
+def validate_pilot_edge(entity: str, current: PilotState, target: PilotState) -> None:
+    if target not in _PILOT_EDGES[current]:
+        raise StateTransitionError(entity, current.value, target.value)
+
+
+def validate_unit_edge(entity: str, current: UnitState, target: UnitState) -> None:
+    if target not in _UNIT_EDGES[current]:
+        raise StateTransitionError(entity, current.value, target.value)

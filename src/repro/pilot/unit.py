@@ -1,0 +1,87 @@
+"""The compute unit: one schedulable task inside a pilot."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.pilot.description import ComputeUnitDescription
+from repro.pilot.states import UnitState, validate_unit_edge
+from repro.utils.ids import generate_id
+
+__all__ = ["ComputeUnit"]
+
+
+class ComputeUnit:
+    """Runtime handle of one task.
+
+    State transitions are validated and timestamped exactly once; the EnTK
+    profiler derives every overhead in the paper's Fig. 3 from these
+    timestamps.
+    """
+
+    def __init__(self, description: ComputeUnitDescription, session: Any) -> None:
+        description.validate()
+        self.uid = generate_id("unit", width=6)
+        self.description = description
+        self.session = session
+        self._state = UnitState.NEW
+        self._lock = threading.RLock()
+        self._final_event = threading.Event()
+        self._callbacks: list[Callable[["ComputeUnit", UnitState], Any]] = []
+        self.timestamps: dict[str, float] = {"NEW": session.now()}
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        self.pilot_uid: str | None = None
+        self.slots: list[int] = []  # core ids occupied while executing
+        self.sandbox: str | None = None
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def state(self) -> UnitState:
+        return self._state
+
+    def advance(self, target: UnitState) -> None:
+        with self._lock:
+            validate_unit_edge(f"ComputeUnit {self.uid}", self._state, target)
+            self._state = target
+            self.timestamps[target.value] = self.session.now()
+            callbacks = list(self._callbacks)
+        self.session.prof.event("unit_state", self.uid, state=target.value)
+        for cb in callbacks:
+            cb(self, target)
+        if target.is_final:
+            self._final_event.set()
+
+    def add_callback(self, callback: Callable[["ComputeUnit", UnitState], Any]) -> None:
+        self._callbacks.append(callback)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._state.is_final
+
+    def duration(self, start: UnitState, end: UnitState) -> float | None:
+        """Seconds between two recorded state entries, if both happened."""
+        t0 = self.timestamps.get(start.value)
+        t1 = self.timestamps.get(end.value)
+        if t0 is None or t1 is None:
+            return None
+        return t1 - t0
+
+    @property
+    def execution_time(self) -> float | None:
+        """Time spent in EXECUTING (the task's own runtime)."""
+        return self.duration(UnitState.EXECUTING, UnitState.AGENT_STAGING_OUTPUT)
+
+    def wait(self, timeout: float | None = None) -> UnitState:
+        """Block until final (local mode); immediate in simulated mode."""
+        if getattr(self.session, "is_simulated", False):
+            return self._state
+        self._final_event.wait(timeout)
+        return self._state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ComputeUnit {self.uid} {self._state.value} cores={self.description.cores}>"

@@ -1,0 +1,170 @@
+"""The unit manager: routes compute units to pilots and tracks them."""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.exceptions import PilotError, SchedulingError
+from repro.pilot.description import ComputeUnitDescription
+from repro.pilot.pilot import ComputePilot
+from repro.pilot.states import UnitState
+from repro.pilot.unit import ComputeUnit
+from repro.utils.logger import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pilot.session import Session
+
+__all__ = ["UnitManager"]
+
+log = get_logger("pilot.umgr")
+
+
+class UnitManager:
+    """Client-side unit scheduling (unit -> pilot) and bookkeeping.
+
+    The unit-to-pilot scheduler is round-robin over the added pilots,
+    skipping pilots too small for a unit; with one pilot (every experiment
+    in the paper) it degenerates to direct routing.
+    """
+
+    def __init__(self, session: "Session") -> None:
+        self.session = session
+        self.uid = "umgr." + session.uid
+        self.pilots: list[ComputePilot] = []
+        self.units: list[ComputeUnit] = []
+        self._rr_next = 0
+        self._lock = threading.RLock()
+        self._all_done = threading.Condition(self._lock)
+        self._callbacks: list[Callable[[ComputeUnit, UnitState], Any]] = []
+
+    # -- pilots ---------------------------------------------------------------
+
+    def add_pilots(self, pilots: list[ComputePilot] | ComputePilot) -> None:
+        if isinstance(pilots, ComputePilot):
+            pilots = [pilots]
+        for pilot in pilots:
+            pilot.agent.on_unit_final(self._on_unit_final)
+            self.pilots.append(pilot)
+
+    # -- units -----------------------------------------------------------------
+
+    def register_callback(self, callback: Callable[[ComputeUnit, UnitState], Any]) -> None:
+        """``callback(unit, state)`` on every unit state transition."""
+        self._callbacks.append(callback)
+
+    def submit_units(
+        self,
+        descriptions: list[ComputeUnitDescription] | ComputeUnitDescription,
+        callback: Callable[[ComputeUnit, UnitState], Any] | None = None,
+        extra_delay: float = 0.0,
+    ) -> list[ComputeUnit]:
+        """Create units, schedule them onto pilots, forward to agents.
+
+        *callback* is attached to every created unit *before* it can make
+        any progress, so callers (e.g. pattern drivers) cannot miss a
+        transition even for tasks that finish instantly.
+
+        Forwarding is *bulk*: all units bound to one pilot travel in one
+        message, paying one network delay (RADICAL-Pilot bulk submission).
+        """
+        if not self.pilots:
+            raise PilotError("unit manager has no pilots")
+        if isinstance(descriptions, ComputeUnitDescription):
+            descriptions = [descriptions]
+
+        self.session.prof.event("umgr_submit_start", self.uid, n=len(descriptions))
+        units: list[ComputeUnit] = []
+        routing: dict[str, tuple[ComputePilot, list[ComputeUnit]]] = {}
+        for description in descriptions:
+            unit = ComputeUnit(description, self.session)
+            if callback is not None:
+                unit.add_callback(callback)
+            for cb in self._callbacks:
+                unit.add_callback(cb)
+            unit.advance(UnitState.UMGR_SCHEDULING)
+            pilot = self._pick_pilot(description)
+            routing.setdefault(pilot.uid, (pilot, []))[1].append(unit)
+            units.append(unit)
+        with self._lock:
+            self.units.extend(units)
+
+        for pilot, batch in routing.values():
+            self._forward(pilot, batch, extra_delay)
+        self.session.prof.event("umgr_submit_stop", self.uid, n=len(descriptions))
+        return units
+
+    def _pick_pilot(self, description: ComputeUnitDescription) -> ComputePilot:
+        n = len(self.pilots)
+        for offset in range(n):
+            pilot = self.pilots[(self._rr_next + offset) % n]
+            if pilot.cores >= description.cores:
+                self._rr_next = (self._rr_next + offset + 1) % n
+                return pilot
+        raise SchedulingError(
+            f"no pilot can hold a {description.cores}-core unit"
+        )
+
+    def _forward(
+        self, pilot: ComputePilot, batch: list[ComputeUnit], extra_delay: float = 0.0
+    ) -> None:
+        if self.session.is_simulated:
+            context = self.session.sim_context
+            delay = extra_delay + context.network.bulk_delay(len(batch))
+            context.sim.schedule(
+                delay,
+                lambda: pilot.agent.submit_units(batch),
+                label=f"umgr_forward:{pilot.uid}",
+            )
+        else:
+            pilot.agent.submit_units(batch)
+
+    # -- completion --------------------------------------------------------------
+
+    def _on_unit_final(self, unit: ComputeUnit) -> None:
+        with self._all_done:
+            self._all_done.notify_all()
+
+    def wait_units(
+        self,
+        units: list[ComputeUnit] | None = None,
+        timeout: float | None = None,
+    ) -> list[UnitState]:
+        """Block (local) or advance virtual time (sim) until *units* finish.
+
+        In simulated sessions the DES is stepped just far enough for every
+        unit to reach a final state; pending unrelated events (e.g. the
+        pilot's walltime kill) stay pending, so TTC measurements are not
+        polluted by them.
+        """
+        targets = units if units is not None else list(self.units)
+        if self.session.is_simulated:
+            sim = self.session.sim
+            while not all(u.state.is_final for u in targets):
+                if sim.step() is None:
+                    raise PilotError(
+                        "simulation drained before all units finished "
+                        "(is the pilot large enough and active?)"
+                    )
+            return [u.state for u in targets]
+
+        deadline = None if timeout is None else self.session.now() + timeout
+        with self._all_done:
+            while not all(u.state.is_final for u in targets):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self.session.now()
+                    if remaining <= 0:
+                        raise PilotError("timeout waiting for units")
+                self._all_done.wait(remaining if remaining is not None else 1.0)
+        return [u.state for u in targets]
+
+    def cancel_units(self, units: list[ComputeUnit] | None = None) -> None:
+        for unit in units if units is not None else list(self.units):
+            if unit.state.is_final:
+                continue
+            if unit.pilot_uid is None:
+                unit.advance(UnitState.CANCELED)
+                continue
+            pilot = next(p for p in self.pilots if p.uid == unit.pilot_uid)
+            pilot.agent.cancel_unit(unit)

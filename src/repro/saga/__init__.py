@@ -1,0 +1,20 @@
+"""A SAGA-like job submission API (cf. paper §III.C.1).
+
+The paper keeps Ensemble Toolkit portable by speaking a standard job
+submission language (SAGA / JSDL) to every machine.  This package provides
+the same shape of API:
+
+* :class:`JobDescription` — JSDL-style description of a job,
+* :class:`Job` — a handle with ``run`` / ``wait`` / ``cancel`` and a SAGA
+  state model,
+* :class:`JobService` — an endpoint (``fork://localhost`` or
+  ``sim://<platform>``) that creates jobs.
+
+Two adaptors back the API: ``fork`` really runs the payload in a thread on
+this machine; ``sim`` submits a batch job into a simulated cluster's queue.
+"""
+
+from repro.saga.states import JobState
+from repro.saga.job import Job, JobDescription, JobService
+
+__all__ = ["JobState", "Job", "JobDescription", "JobService"]

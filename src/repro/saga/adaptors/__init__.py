@@ -1,0 +1,6 @@
+"""SAGA adaptors: backends that actually run (or simulate) jobs."""
+
+from repro.saga.adaptors.local import ForkAdaptor
+from repro.saga.adaptors.sim import SimAdaptor, SimContext
+
+__all__ = ["ForkAdaptor", "SimAdaptor", "SimContext"]

@@ -1,0 +1,76 @@
+"""The ``fork://`` adaptor: really run job payloads on this machine.
+
+Each job's ``payload(job)`` callable executes in a daemon thread.  This is
+the execution path for examples and functional tests — files genuinely get
+created, MD genuinely integrates.  The adaptor reads time from a process-wide
+wall clock so job timestamps are comparable across services.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.saga.states import JobState
+from repro.utils.logger import get_logger
+from repro.utils.timing import WallClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.saga.job import Job, JobService
+
+__all__ = ["ForkAdaptor"]
+
+log = get_logger("saga.adaptor.fork")
+
+_WALL = WallClock()
+
+
+class ForkAdaptor:
+    """Thread-per-job local execution."""
+
+    def __init__(self, service: "JobService") -> None:
+        self.service = service
+        self._threads: dict[str, threading.Thread] = {}
+        self._cancel_requested: set[str] = set()
+
+    def now(self) -> float:
+        return _WALL.now()
+
+    def submit(self, job: "Job") -> None:
+        job._advance(JobState.PENDING)
+        thread = threading.Thread(
+            target=self._run, args=(job,), name=f"saga-{job.uid}", daemon=True
+        )
+        self._threads[job.uid] = thread
+        thread.start()
+
+    def _run(self, job: "Job") -> None:
+        if job.uid in self._cancel_requested:
+            job._advance(JobState.CANCELED)
+            return
+        job._advance(JobState.RUNNING)
+        try:
+            if job.description.payload is not None:
+                job.result = job.description.payload(job)
+            job.exit_code = 0
+        except BaseException as exc:  # noqa: BLE001 - job failure is data
+            job.exception = exc
+            job.exit_code = 1
+            log.debug("job %s failed: %r", job.uid, exc)
+            job._advance(JobState.FAILED)
+            return
+        if job.uid in self._cancel_requested:
+            job._advance(JobState.CANCELED)
+        else:
+            job._advance(JobState.DONE)
+
+    def cancel(self, job: "Job") -> None:
+        """Best-effort cancellation.
+
+        A payload already running is cooperative: it may poll
+        ``job.state`` or simply finish, in which case the final state
+        becomes CANCELED when the flag was set in time.
+        """
+        self._cancel_requested.add(job.uid)
+        if job.state is JobState.NEW:
+            job._advance(JobState.CANCELED)

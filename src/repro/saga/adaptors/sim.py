@@ -1,0 +1,112 @@
+"""The ``sim://`` adaptor: submit jobs into a simulated cluster's batch queue.
+
+A :class:`SimContext` bundles the discrete-event simulator, the platform
+profile and its batch scheduler; one context is shared by the job service,
+the pilot runtime's overhead models and the executor, so the whole stack
+advances on one virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cluster.batch import BatchScheduler
+from repro.cluster.filesystem import SharedFilesystem
+from repro.cluster.job import BatchJob, BatchJobState
+from repro.cluster.network import NetworkModel
+from repro.cluster.platform import PlatformSpec
+from repro.eventsim import RandomStreams, Simulator
+from repro.saga.states import JobState
+from repro.utils.logger import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.saga.job import Job, JobService
+
+__all__ = ["SimContext", "SimAdaptor"]
+
+log = get_logger("saga.adaptor.sim")
+
+
+@dataclass
+class SimContext:
+    """Everything one simulated platform run shares."""
+
+    platform: PlatformSpec
+    sim: Simulator = field(default_factory=Simulator)
+    streams: RandomStreams = field(default_factory=lambda: RandomStreams(0))
+    model_queue_wait: bool = False
+    batch: BatchScheduler = field(init=False)
+    network: NetworkModel = field(init=False)
+    filesystem: SharedFilesystem = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.batch = BatchScheduler(
+            self.sim,
+            self.platform,
+            self.streams,
+            model_queue_wait=self.model_queue_wait,
+        )
+        self.network = NetworkModel(
+            self.platform.network_rtt, streams=self.streams
+        )
+        self.filesystem = SharedFilesystem(self.platform.fs_bandwidth)
+
+
+class SimAdaptor:
+    """Map SAGA jobs onto simulated batch jobs."""
+
+    def __init__(self, service: "JobService") -> None:
+        self.service = service
+        self.context: SimContext = service.context
+        self._batch_jobs: dict[str, BatchJob] = {}
+
+    def now(self) -> float:
+        return self.context.sim.now
+
+    def submit(self, job: "Job") -> None:
+        desc = job.description
+        platform = self.context.platform
+        nodes = platform.nodes_for_cores(desc.total_cpu_count)
+
+        def on_start(batch_job: BatchJob) -> None:
+            job._advance(JobState.RUNNING)
+            if desc.payload is not None:
+                # The payload runs *in virtual time*: it receives the job and
+                # may schedule further events on the shared simulator.
+                desc.payload(job)
+
+        def on_end(batch_job: BatchJob, state: BatchJobState) -> None:
+            if job.state.is_final:
+                return
+            if state is BatchJobState.COMPLETED:
+                job.exit_code = 0
+                job._advance(JobState.DONE)
+            elif state is BatchJobState.TIMEOUT:
+                job.exit_code = 1
+                job._advance(JobState.FAILED)
+            else:
+                job._advance(JobState.CANCELED)
+
+        batch_job = BatchJob(
+            nodes=nodes,
+            walltime=desc.wall_time_limit,
+            duration=desc.modelled_duration,
+            name=desc.name or job.uid,
+            on_start=on_start,
+            on_end=on_end,
+        )
+        self._batch_jobs[job.uid] = batch_job
+        job._advance(JobState.PENDING)
+        self.context.batch.submit(batch_job)
+
+    def cancel(self, job: "Job") -> None:
+        batch_job = self._batch_jobs.get(job.uid)
+        if batch_job is None:
+            if not job.state.is_final:
+                job._advance(JobState.CANCELED)
+            return
+        if not batch_job.state.is_final:
+            self.context.batch.cancel(batch_job)
+        elif not job.state.is_final:
+            job._advance(JobState.CANCELED)

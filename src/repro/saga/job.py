@@ -1,0 +1,164 @@
+"""SAGA-like job description, job handle and job service."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+from urllib.parse import urlparse
+
+from repro.exceptions import BadParameter, IncorrectState, NoSuccess
+from repro.saga.states import JobState, validate_transition
+from repro.utils.ids import generate_id
+from repro.utils.logger import get_logger
+
+__all__ = ["JobDescription", "Job", "JobService"]
+
+log = get_logger("saga.job")
+
+
+@dataclass
+class JobDescription:
+    """JSDL-style description of one job.
+
+    ``payload`` is the Python-native equivalent of ``executable``: adaptors
+    that really execute (fork) call it; adaptors that simulate use
+    ``modelled_duration`` instead.  Exactly mirroring JSDL's split between
+    what to run and what resources it needs.
+    """
+
+    executable: str = ""
+    arguments: list[str] = field(default_factory=list)
+    environment: dict[str, str] = field(default_factory=dict)
+    working_directory: str = ""
+    name: str = ""
+    queue: str = ""
+    project: str = ""
+    total_cpu_count: int = 1
+    wall_time_limit: float = 3600.0  # seconds
+    output: str = ""
+    error: str = ""
+    payload: Callable[["Job"], Any] | None = None
+    modelled_duration: float | None = None
+
+    def validate(self) -> None:
+        if self.total_cpu_count < 1:
+            raise BadParameter("total_cpu_count must be >= 1")
+        if self.wall_time_limit <= 0:
+            raise BadParameter("wall_time_limit must be positive")
+        if not self.executable and self.payload is None:
+            raise BadParameter("job needs an executable or a payload")
+
+
+class Job:
+    """Handle on a submitted (or to-be-submitted) job."""
+
+    def __init__(self, description: JobDescription, service: "JobService") -> None:
+        description.validate()
+        self.uid = generate_id("saga.job")
+        self.description = description
+        self.service = service
+        self._state = JobState.NEW
+        self._state_lock = threading.Lock()
+        self._final = threading.Event()
+        self._callbacks: list[Callable[["Job", JobState], Any]] = []
+        self.exit_code: int | None = None
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        self.timestamps: dict[str, float] = {}
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> JobState:
+        return self._state
+
+    def _advance(self, target: JobState) -> None:
+        with self._state_lock:
+            if self._state == target:
+                return
+            validate_transition(f"Job {self.uid}", self._state, target)
+            self._state = target
+            self.timestamps[target.value] = self.service.now()
+            callbacks = list(self._callbacks)
+        for cb in callbacks:
+            cb(self, target)
+        if target.is_final:
+            self._final.set()
+
+    def add_callback(self, callback: Callable[["Job", JobState], Any]) -> None:
+        """Register ``callback(job, new_state)`` for every transition."""
+        self._callbacks.append(callback)
+
+    # -- operations ------------------------------------------------------------
+
+    def run(self) -> "Job":
+        """Submit the job through the service's adaptor."""
+        if self._state is not JobState.NEW:
+            raise IncorrectState(f"job {self.uid} already submitted")
+        self.service._adaptor.submit(self)
+        return self
+
+    def wait(self, timeout: float | None = None) -> JobState:
+        """Block until the job reaches a final state (fork adaptor) or
+        return the current state (sim adaptor: virtual time cannot block)."""
+        if self.service.is_simulated:
+            return self._state
+        if not self._final.wait(timeout):
+            raise NoSuccess(f"timeout waiting for job {self.uid}")
+        return self._state
+
+    def cancel(self) -> None:
+        if self._state.is_final:
+            return
+        self.service._adaptor.cancel(self)
+
+
+class JobService:
+    """Factory of :class:`Job` objects bound to one endpoint.
+
+    ``fork://localhost`` executes payloads in daemon threads on this host;
+    ``sim://<platform>`` needs a ``context`` carrying the simulator and the
+    platform's batch scheduler (see :mod:`repro.saga.adaptors.sim`).
+    """
+
+    def __init__(self, url: str, context: Any = None) -> None:
+        parsed = urlparse(url)
+        self.url = url
+        self.scheme = parsed.scheme
+        self.host = parsed.netloc or parsed.path
+        self.context = context
+        self._adaptor = self._resolve_adaptor()
+        self.jobs: list[Job] = []
+
+    def _resolve_adaptor(self):
+        # Imported here to avoid a cycle (adaptors import Job for typing).
+        from repro.saga.adaptors.local import ForkAdaptor
+        from repro.saga.adaptors.sim import SimAdaptor
+
+        if self.scheme == "fork":
+            return ForkAdaptor(self)
+        if self.scheme == "sim":
+            if self.context is None:
+                raise BadParameter("sim:// job service needs a SimContext")
+            return SimAdaptor(self)
+        raise BadParameter(f"unsupported job service scheme {self.scheme!r}")
+
+    @property
+    def is_simulated(self) -> bool:
+        return self.scheme == "sim"
+
+    def now(self) -> float:
+        """Timestamp source matching the adaptor (wall or virtual)."""
+        return self._adaptor.now()
+
+    def create_job(self, description: JobDescription) -> Job:
+        job = Job(description, self)
+        self.jobs.append(job)
+        return job
+
+    def close(self) -> None:
+        """Cancel all non-final jobs created by this service."""
+        for job in self.jobs:
+            if not job.state.is_final:
+                job.cancel()

@@ -1,0 +1,44 @@
+"""The SAGA job state model (GFD.90)."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import StateTransitionError
+
+__all__ = ["JobState", "validate_transition"]
+
+
+class JobState(str, enum.Enum):
+    """SAGA job states: NEW -> PENDING -> RUNNING -> {DONE, FAILED, CANCELED}."""
+
+    NEW = "NEW"
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELED = "CANCELED"
+
+    @property
+    def is_final(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELED)
+
+
+_LEGAL: dict[JobState, frozenset[JobState]] = {
+    JobState.NEW: frozenset({JobState.PENDING, JobState.CANCELED, JobState.FAILED}),
+    JobState.PENDING: frozenset(
+        {JobState.RUNNING, JobState.CANCELED, JobState.FAILED}
+    ),
+    JobState.RUNNING: frozenset(
+        {JobState.DONE, JobState.FAILED, JobState.CANCELED}
+    ),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELED: frozenset(),
+}
+
+
+def validate_transition(entity: str, current: JobState, target: JobState) -> None:
+    """Raise :class:`StateTransitionError` unless ``current -> target`` is legal."""
+    if target not in _LEGAL[current]:
+        raise StateTransitionError(entity, current.value, target.value)

@@ -1,0 +1,16 @@
+"""Shared utilities: id generation, logging, configuration and clocks."""
+
+from repro.utils.ids import generate_id, reset_id_counters
+from repro.utils.logger import get_logger
+from repro.utils.config import Config
+from repro.utils.timing import Clock, WallClock, VirtualClock
+
+__all__ = [
+    "generate_id",
+    "reset_id_counters",
+    "get_logger",
+    "Config",
+    "Clock",
+    "WallClock",
+    "VirtualClock",
+]

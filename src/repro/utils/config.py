@@ -1,0 +1,108 @@
+"""A small, validating configuration container.
+
+:class:`Config` is a dictionary with dotted-path access, defaulting and type
+checking.  It is used for platform profiles (``repro.cluster.platforms``),
+pilot overhead models and experiment parameter sets, so one mechanism covers
+all "bag of named numbers" needs in the package.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Config"]
+
+
+class Config(Mapping[str, Any]):
+    """Immutable-ish nested configuration with dotted-path lookups.
+
+    >>> cfg = Config({"agent": {"cores": 16, "scheduler": "backfill"}})
+    >>> cfg["agent.cores"]
+    16
+    >>> cfg.get("agent.missing", 3)
+    3
+    """
+
+    def __init__(self, data: Mapping[str, Any] | None = None) -> None:
+        self._data: dict[str, Any] = copy.deepcopy(dict(data or {}))
+
+    # -- Mapping interface -------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        node: Any = self._data
+        for part in key.split("."):
+            if not isinstance(node, Mapping) or part not in node:
+                raise KeyError(key)
+            node = node[part]
+        if isinstance(node, Mapping):
+            return Config(node)
+        return node
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Config({self._data!r})"
+
+    # -- conveniences ------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def require(self, key: str, kind: type | tuple[type, ...] | None = None) -> Any:
+        """Return ``self[key]`` or raise :class:`ConfigurationError`.
+
+        When *kind* is given the value must be an instance of it (``bool`` is
+        rejected where an ``int``/``float`` is required, because a stray
+        ``True`` in a numeric field is nearly always a bug).
+        """
+        try:
+            value = self[key]
+        except KeyError:
+            raise ConfigurationError(f"missing configuration key {key!r}") from None
+        if kind is not None:
+            if isinstance(value, bool) and kind in (int, float, (int, float)):
+                raise ConfigurationError(
+                    f"configuration key {key!r} must be {kind}, got bool"
+                )
+            if not isinstance(value, kind):
+                raise ConfigurationError(
+                    f"configuration key {key!r} must be {kind}, got {type(value)}"
+                )
+        return value
+
+    def merged(self, overrides: Mapping[str, Any] | None) -> "Config":
+        """Return a new config with *overrides* recursively merged in."""
+        if not overrides:
+            return Config(self._data)
+
+        def merge(base: dict[str, Any], over: Mapping[str, Any]) -> dict[str, Any]:
+            out = dict(base)
+            for key, value in over.items():
+                if (
+                    key in out
+                    and isinstance(out[key], Mapping)
+                    and isinstance(value, Mapping)
+                ):
+                    out[key] = merge(dict(out[key]), value)
+                else:
+                    out[key] = copy.deepcopy(value)
+            return out
+
+        if isinstance(overrides, Config):
+            overrides = overrides.as_dict()
+        return Config(merge(self._data, overrides))
+
+    def as_dict(self) -> dict[str, Any]:
+        """Return a deep copy of the underlying plain dictionary."""
+        return copy.deepcopy(self._data)

@@ -1,0 +1,48 @@
+"""Unique, human-readable identifier generation.
+
+Identifiers look like ``pilot.0003`` or ``unit.000124``: a dotted namespace
+followed by a zero-padded per-namespace counter.  Counters are process-local
+and monotonic; :func:`reset_id_counters` exists so tests and deterministic
+simulations can start from a known state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+__all__ = ["generate_id", "reset_id_counters"]
+
+_lock = threading.Lock()
+_counters: dict[str, itertools.count] = {}
+
+
+def generate_id(namespace: str, width: int = 4) -> str:
+    """Return the next identifier in *namespace*.
+
+    Parameters
+    ----------
+    namespace:
+        Dotted prefix, e.g. ``"unit"`` or ``"pipeline.stage"``.
+    width:
+        Minimum digits in the zero-padded counter suffix.
+    """
+    if not namespace:
+        raise ValueError("namespace must be non-empty")
+    with _lock:
+        counter = _counters.setdefault(namespace, itertools.count())
+        n = next(counter)
+    return f"{namespace}.{n:0{width}d}"
+
+
+def reset_id_counters(namespace: str | None = None) -> None:
+    """Reset the counter of *namespace*, or all counters when ``None``.
+
+    Only intended for tests and for deterministic re-runs of simulations;
+    production code never needs to call this.
+    """
+    with _lock:
+        if namespace is None:
+            _counters.clear()
+        else:
+            _counters.pop(namespace, None)

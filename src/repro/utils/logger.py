@@ -1,0 +1,44 @@
+"""Per-component loggers.
+
+All loggers live under the ``repro`` root so applications can configure the
+whole toolkit with one handler.  The default configuration is silent (a
+:class:`logging.NullHandler` on the root) — examples and the benchmark
+harness install their own stream handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT = "repro"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(component: str) -> logging.Logger:
+    """Return the logger for *component* (e.g. ``"pilot.agent"``).
+
+    The environment variable ``REPRO_LOG_LEVEL`` (e.g. ``DEBUG``) raises the
+    root level at first use, which is convenient when debugging examples.
+    """
+    name = component if component.startswith(_ROOT) else f"{_ROOT}.{component}"
+    logger = logging.getLogger(name)
+    level = os.environ.get("REPRO_LOG_LEVEL")
+    if level:
+        logging.getLogger(_ROOT).setLevel(level.upper())
+    return logger
+
+
+def enable_console_logging(level: int | str = logging.INFO) -> None:
+    """Attach a stderr handler to the ``repro`` root logger (idempotent)."""
+    root = logging.getLogger(_ROOT)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(level)

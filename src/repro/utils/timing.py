@@ -1,0 +1,68 @@
+"""Clock abstractions.
+
+Everything in the pilot runtime and the EnTK profiler reads time through a
+:class:`Clock` so the same code paths run against the wall clock (local
+execution) and against the discrete-event simulator's virtual clock (scaling
+experiments).  The virtual clock is advanced exclusively by the simulator;
+components only ever *read* it.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+__all__ = ["Clock", "WallClock", "VirtualClock"]
+
+
+class Clock(abc.ABC):
+    """Monotonic source of seconds-since-epoch-like timestamps."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds."""
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - overridden
+        """Block for *seconds* (no-op on virtual clocks)."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time, via :func:`time.monotonic` offset to a fixed epoch.
+
+    ``time.monotonic`` is used instead of ``time.time`` so NTP adjustments
+    can never make measured durations negative.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """Simulation time; advanced by :class:`repro.eventsim.Simulator` only."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to *timestamp* (never backward)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"virtual clock cannot move backward: {self._now} -> {timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def sleep(self, seconds: float) -> None:
+        # Virtual time never blocks a real thread; sleeping is modelled by
+        # scheduling events, so a plain sleep would be a logic error.
+        raise RuntimeError("VirtualClock cannot sleep; schedule an event instead")

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resource_handle import ResourceHandle
+
+
+@pytest.fixture
+def local_handle(tmp_path):
+    """An allocated 4-core local resource handle, torn down after the test."""
+    handle = ResourceHandle(
+        resource="local.localhost",
+        cores=4,
+        walltime=10,
+        mode="local",
+        sandbox=tmp_path / "sandbox",
+    )
+    handle.allocate()
+    yield handle
+    handle.deallocate()
+
+
+@pytest.fixture
+def sim_handle_factory():
+    """Factory of allocated simulated handles; all torn down after the test."""
+    handles = []
+
+    def make(resource="xsede.comet", cores=48, walltime=120, **kwargs) -> ResourceHandle:
+        handle = ResourceHandle(
+            resource=resource, cores=cores, walltime=walltime, mode="sim", **kwargs
+        )
+        handle.allocate()
+        handles.append(handle)
+        return handle
+
+    yield make
+    for handle in handles:
+        handle.deallocate()

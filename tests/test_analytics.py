@@ -1,0 +1,123 @@
+"""Tests for analytics: tables, series shape checks, metrics."""
+
+import pytest
+
+from repro.analytics.metrics import (
+    group_units,
+    parallel_efficiency,
+    phase_execution_time,
+    phase_total_time,
+    speedup,
+    utilization,
+)
+from repro.analytics.tables import Series, format_table
+from repro.core.kernel_plugin import Kernel
+from repro.core.patterns import BagOfTasks
+
+
+class TestFormatTable:
+    def test_dict_rows(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123}])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "10" in lines[3]
+        assert "0.12" in lines[3]
+
+    def test_sequence_rows_need_headers(self):
+        with pytest.raises(ValueError):
+            format_table([[1, 2]])
+        text = format_table([[1, 2]], headers=["x", "y"])
+        assert "x" in text and "y" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_title_and_precision(self):
+        text = format_table([{"v": 1.23456}], precision=4, title="T")
+        assert text.startswith("T\n")
+        assert "1.2346" in text
+
+
+class TestSeries:
+    def test_constant_detection(self):
+        flat = Series("s", x=[1, 2, 4], y=[10.0, 10.5, 9.8])
+        assert flat.is_constant(tolerance=0.1)
+        steep = Series("s", x=[1, 2, 4], y=[10.0, 20.0, 40.0])
+        assert not steep.is_constant(tolerance=0.1)
+
+    def test_monotonicity(self):
+        up = Series("s", x=[1, 2, 3], y=[1.0, 2.0, 3.0])
+        assert up.is_increasing() and not up.is_decreasing()
+        down = Series("s", x=[1, 2, 3], y=[3.0, 2.0, 1.0])
+        assert down.is_decreasing() and not down.is_increasing()
+
+    def test_halves_per_doubling(self):
+        ideal = Series("s", x=[1, 2, 4, 8], y=[80.0, 40.0, 20.0, 10.0])
+        assert ideal.halves_per_doubling()
+        sublinear = Series("s", x=[1, 2, 4, 8], y=[80.0, 60.0, 50.0, 45.0])
+        assert not sublinear.halves_per_doubling()
+
+    def test_grows_linearly(self):
+        linear = Series("s", x=[1, 2, 4, 8], y=[3.0, 5.0, 9.0, 17.0])  # 1+2x
+        assert linear.grows_linearly()
+        flat = Series("s", x=[1, 2, 4, 8], y=[3.0, 3.0, 3.0, 3.0])
+        assert not flat.grows_linearly()
+
+    def test_append_and_len(self):
+        series = Series("s")
+        series.append(1, 2.0)
+        assert len(series) == 1
+        assert series.as_rows() == [{"x": 1.0, "seconds": 2.0}]
+
+    def test_empty_series_edge_cases(self):
+        empty = Series("s")
+        assert empty.is_constant()
+        assert empty.halves_per_doubling()
+
+
+class TestMetrics:
+    def run_bag(self, sim_handle_factory, n=4, duration=10.0, cores=48):
+        class Bag(BagOfTasks):
+            def task(self, instance):
+                kernel = Kernel(name="misc.sleep")
+                kernel.arguments = [f"--duration={duration}"]
+                return kernel
+
+        handle = sim_handle_factory(cores=cores)
+        pattern = Bag(size=n)
+        handle.run(pattern)
+        return pattern, handle
+
+    def test_phase_execution_time_concurrent(self, sim_handle_factory):
+        pattern, _ = self.run_bag(sim_handle_factory, n=4, duration=10.0)
+        # All concurrent -> union ~ 10 s; total ~ 40 s.
+        assert phase_execution_time(pattern.units) == pytest.approx(10.0, rel=0.05)
+        assert phase_total_time(pattern.units) == pytest.approx(40.0, rel=0.05)
+
+    def test_phase_execution_time_waves(self, sim_handle_factory):
+        pattern, _ = self.run_bag(sim_handle_factory, n=8, duration=10.0, cores=4)
+        # 8 tasks on 4 cores -> two waves -> ~20 s wall.
+        assert phase_execution_time(pattern.units) == pytest.approx(20.0, rel=0.1)
+
+    def test_group_units_by_tag_and_function(self, sim_handle_factory):
+        pattern, _ = self.run_bag(sim_handle_factory)
+        by_stage = group_units(pattern.units, "stage")
+        assert set(by_stage) == {1}
+        by_name = group_units(pattern.units, lambda u: u.description.name)
+        assert set(by_name) == {"misc.sleep"}
+
+    def test_utilization(self, sim_handle_factory):
+        pattern, _ = self.run_bag(sim_handle_factory, n=4, duration=10.0, cores=4)
+        span = phase_execution_time(pattern.units)
+        value = utilization(pattern.units, total_cores=4, span=span)
+        assert value == pytest.approx(1.0, rel=0.05)
+        with pytest.raises(ValueError):
+            utilization(pattern.units, total_cores=0, span=1.0)
+
+    def test_speedup_and_efficiency(self):
+        assert speedup(100.0, 25.0) == 4.0
+        assert parallel_efficiency(100.0, 25.0, scale=4) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+        with pytest.raises(ValueError):
+            parallel_efficiency(10.0, 1.0, scale=0)

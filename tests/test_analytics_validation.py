@@ -1,0 +1,80 @@
+"""Property tests of the paper-critical runtime invariants (DESIGN.md §6)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics.validation import (
+    check_core_accounting,
+    check_state_timestamps_monotonic,
+    peak_concurrent_cores,
+)
+from repro.core.kernel_plugin import Kernel
+from repro.core.patterns import BagOfTasks
+from repro.core.resource_handle import ResourceHandle
+
+
+class MixedBag(BagOfTasks):
+    """Tasks with hypothesis-chosen core widths and durations."""
+
+    def __init__(self, shapes):
+        super().__init__(size=len(shapes))
+        self.shapes = shapes
+
+    def task(self, instance):
+        cores, duration = self.shapes[instance - 1]
+        kernel = Kernel(name="misc.sleep")
+        kernel.arguments = [f"--duration={duration}"]
+        kernel.cores = cores
+        kernel.uses_mpi = cores > 1
+        return kernel
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shapes=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=8),     # cores
+            st.floats(min_value=1.0, max_value=50.0),  # duration
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    pilot_cores=st.integers(min_value=8, max_value=24),
+    policy=st.sampled_from(["backfill", "fifo"]),
+)
+def test_property_core_accounting_never_violated(shapes, pilot_cores, policy):
+    """For arbitrary mixed workloads and either agent policy: occupied
+    cores never exceed the pilot, all tasks finish, timestamps are
+    monotonic."""
+    handle = ResourceHandle(
+        "xsede.comet", cores=pilot_cores, walltime=600, mode="sim",
+        agent_policy=policy,
+    )
+    handle.allocate()
+    pattern = MixedBag(shapes)
+    handle.run(pattern)
+    handle.deallocate()
+
+    assert all(u.state.value == "DONE" for u in pattern.units)
+    check_core_accounting(pattern.units, pilot_cores)
+    check_state_timestamps_monotonic(pattern.units)
+
+
+def test_peak_concurrency_reaches_pilot_size():
+    """A saturating homogeneous bag drives the pilot to full occupancy."""
+    handle = ResourceHandle("xsede.comet", cores=8, walltime=600, mode="sim")
+    handle.allocate()
+
+    class Bag(BagOfTasks):
+        def task(self, instance):
+            kernel = Kernel(name="misc.sleep")
+            kernel.arguments = ["--duration=50"]
+            return kernel
+
+    pattern = Bag(size=24)
+    handle.run(pattern)
+    handle.deallocate()
+    assert peak_concurrent_cores(pattern.units) == 8
+
+
+def test_peak_concurrency_empty():
+    assert peak_concurrent_cores([]) == 0

@@ -1,0 +1,164 @@
+"""Tests for the generic-DAG workflow baseline."""
+
+import pytest
+
+from repro.baselines.dag import (
+    DAGWorkflow,
+    express_eop_as_dag,
+    express_sal_as_dag,
+)
+from repro.core.kernel_plugin import Kernel
+from repro.exceptions import PatternError
+from repro.experiments.workloads import CharCountPipeline, CharCountSAL
+from repro.pilot.states import UnitState
+
+
+def sleep_kernel(duration=0.0):
+    def factory():
+        kernel = Kernel(name="misc.sleep")
+        kernel.arguments = [f"--duration={duration}"]
+        return kernel
+
+    return factory
+
+
+def failing_kernel():
+    kernel = Kernel(name="misc.ccount")
+    kernel.arguments = ["--inputfile=missing.txt", "--outputfile=o.txt"]
+    return kernel
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self):
+        dag = DAGWorkflow()
+        dag.add_task("a", sleep_kernel())
+        with pytest.raises(PatternError, match="already exists"):
+            dag.add_task("a", sleep_kernel())
+
+    def test_unknown_dependency_rejected(self):
+        dag = DAGWorkflow()
+        dag.add_task("a", sleep_kernel(), depends_on=["ghost"])
+        with pytest.raises(PatternError, match="unknown task"):
+            dag.validate()
+
+    def test_cycle_rejected(self):
+        dag = DAGWorkflow()
+        dag.add_task("a", sleep_kernel(), depends_on=["b"])
+        dag.add_task("b", sleep_kernel(), depends_on=["a"])
+        with pytest.raises(PatternError, match="cycle"):
+            dag.validate()
+
+    def test_empty_dag_rejected(self):
+        with pytest.raises(PatternError, match="no tasks"):
+            DAGWorkflow().validate()
+
+    def test_counts(self):
+        dag = DAGWorkflow()
+        dag.add_task("a", sleep_kernel())
+        dag.add_task("b", sleep_kernel(), depends_on=["a"])
+        dag.add_task("c", sleep_kernel(), depends_on=["a", "b"])
+        assert dag.task_count == 3
+        assert dag.edge_count == 3
+
+
+class TestExecution:
+    @pytest.mark.parametrize("mode", ["local", "sim"])
+    def test_diamond_dependencies_honoured(self, mode, local_handle,
+                                           sim_handle_factory):
+        handle = local_handle if mode == "local" else sim_handle_factory()
+        dag = DAGWorkflow()
+        dag.add_task("root", sleep_kernel())
+        dag.add_task("left", sleep_kernel(), depends_on=["root"])
+        dag.add_task("right", sleep_kernel(), depends_on=["root"])
+        dag.add_task("join", sleep_kernel(), depends_on=["left", "right"])
+        handle.run(dag)
+        by_name = {
+            u.description.tags["dag_task"]: u for u in dag.units
+        }
+        assert all(u.state is UnitState.DONE for u in dag.units)
+        root_end = by_name["root"].timestamps["AGENT_STAGING_OUTPUT"]
+        for mid in ("left", "right"):
+            assert by_name[mid].timestamps["EXECUTING"] >= root_end
+            assert (
+                by_name["join"].timestamps["EXECUTING"]
+                >= by_name[mid].timestamps["AGENT_STAGING_OUTPUT"]
+            )
+
+    def test_independent_branches_run_concurrently(self, sim_handle_factory):
+        handle = sim_handle_factory(cores=8)
+        dag = DAGWorkflow()
+        for i in range(6):
+            dag.add_task(f"t{i}", sleep_kernel(100.0))
+        handle.run(dag)
+        starts = [u.timestamps["EXECUTING"] for u in dag.units]
+        assert max(starts) - min(starts) < 10.0
+
+    def test_failure_prunes_descendants_only(self, local_handle):
+        dag = DAGWorkflow()
+        dag.add_task("bad", failing_kernel)
+        dag.add_task("child", sleep_kernel(), depends_on=["bad"])
+        dag.add_task("grandchild", sleep_kernel(), depends_on=["child"])
+        dag.add_task("independent", sleep_kernel())
+        with pytest.raises(PatternError):
+            local_handle.run(dag)
+        executed = {u.description.tags["dag_task"] for u in dag.units}
+        assert "child" not in executed
+        assert "grandchild" not in executed
+        assert "independent" in executed
+
+    def test_task_placeholder_staging(self, local_handle):
+        dag = DAGWorkflow()
+
+        def producer():
+            kernel = Kernel(name="misc.mkfile")
+            kernel.arguments = ["--size=42", "--filename=data.txt"]
+            return kernel
+
+        def consumer():
+            kernel = Kernel(name="misc.ccount")
+            kernel.arguments = ["--inputfile=in.txt", "--outputfile=n.txt"]
+            kernel.link_input_data = ["$TASK_make/data.txt > in.txt"]
+            return kernel
+
+        dag.add_task("make", producer)
+        dag.add_task("count", consumer, depends_on=["make"])
+        local_handle.run(dag)
+        count_unit = next(
+            u for u in dag.units if u.description.tags["dag_task"] == "count"
+        )
+        assert count_unit.result == 42
+
+
+class TestTranslations:
+    def test_eop_translation_shape(self):
+        dag = express_eop_as_dag(CharCountPipeline(8))
+        assert dag.task_count == 16
+        assert dag.edge_count == 8  # one edge per pipeline
+
+    def test_sal_translation_shape(self):
+        dag = express_sal_as_dag(CharCountSAL(4))
+        # 4 sims + 4 analyses; each analysis depends on all 4 sims.
+        assert dag.task_count == 8
+        assert dag.edge_count == 16
+
+    def test_eop_translation_executes_identically(self, local_handle):
+        dag = express_eop_as_dag(CharCountPipeline(3))
+        local_handle.run(dag)
+        counts = sorted(
+            u.result for u in dag.units
+            if u.description.name == "misc.ccount"
+        )
+        assert counts == [1000, 1000, 1000]
+
+    def test_sal_translation_executes(self, sim_handle_factory):
+        handle = sim_handle_factory()
+        dag = express_sal_as_dag(CharCountSAL(4))
+        handle.run(dag)
+        assert all(u.state is UnitState.DONE for u in dag.units)
+
+    def test_patterns_vs_dag_ablation_small(self):
+        from repro.experiments import ablations
+
+        result = ablations.patterns_vs_dag(sizes=(4, 16))
+        failed = [c for c, ok in result.claims.items() if not ok]
+        assert not failed, result.report()

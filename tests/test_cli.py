@@ -1,0 +1,63 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_platforms_lists_paper_machines(capsys):
+    assert main(["platforms"]) == 0
+    out = capsys.readouterr().out
+    for name in ("xsede.comet", "xsede.stampede", "xsede.supermic"):
+        assert name in out
+
+
+def test_kernels_lists_builtins(capsys):
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "md.amber" in out
+    assert "exchange.temperature" in out
+
+
+def test_figure_small_run(capsys):
+    assert main(["figure", "fig9", "--small"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out
+    assert "[OK " in out
+    assert "FAIL" not in out
+
+
+def test_figure_unknown_name(capsys):
+    assert main(["figure", "fig42"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_ablation_run(capsys):
+    assert main(["ablation", "scheduler_policy"]) == 0
+    assert "backfill" in capsys.readouterr().out
+
+
+def test_ablation_unknown(capsys):
+    assert main(["ablation", "does_not_exist"]) == 2
+
+
+def test_plan_outputs_resource(capsys):
+    assert main(
+        ["plan", "--ntasks", "128", "--seconds", "100",
+         "--resources", "xsede.comet"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "resource : xsede.comet" in out
+    assert "core-hours" in out
+
+
+def test_plan_cost_objective(capsys):
+    assert main(
+        ["plan", "--ntasks", "128", "--seconds", "100",
+         "--objective", "cost", "--resources", "xsede.comet"]
+    ) == 0
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,232 @@
+"""Tests for the simulated batch scheduler (FIFO + EASY backfill)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.batch import BatchScheduler
+from repro.cluster.job import BatchJob, BatchJobState
+from repro.cluster.platform import NodeSpec, PlatformSpec
+from repro.eventsim import Simulator
+from repro.exceptions import QueuePolicyError, StateTransitionError
+
+
+def make_platform(nodes=4, cores=8, **kwargs):
+    defaults = dict(submit_latency=0.0, mean_queue_wait=0.0)
+    defaults.update(kwargs)
+    return PlatformSpec(
+        name="test.cluster",
+        nodes=nodes,
+        node=NodeSpec(cores=cores, memory_gb=16.0),
+        **defaults,
+    )
+
+
+def make_scheduler(policy="easy", nodes=4, **kwargs):
+    sim = Simulator()
+    scheduler = BatchScheduler(sim, make_platform(nodes=nodes, **kwargs), policy=policy)
+    return sim, scheduler
+
+
+def test_single_job_runs_to_completion():
+    sim, sched = make_scheduler()
+    job = BatchJob(nodes=2, walltime=100.0, duration=10.0)
+    sched.submit(job)
+    sim.run()
+    assert job.state is BatchJobState.COMPLETED
+    assert job.start_time == 0.0
+    assert job.end_time == 10.0
+    assert sched.free_nodes == 4
+
+
+def test_submit_latency_delays_start():
+    sim = Simulator()
+    sched = BatchScheduler(sim, make_platform(submit_latency=2.5))
+    job = BatchJob(nodes=1, walltime=50.0, duration=5.0)
+    sched.submit(job)
+    sim.run()
+    assert job.start_time == pytest.approx(2.5)
+    assert job.queue_wait == pytest.approx(2.5)
+
+
+def test_oversized_job_rejected():
+    _, sched = make_scheduler(nodes=4)
+    with pytest.raises(QueuePolicyError, match="nodes"):
+        sched.submit(BatchJob(nodes=5, walltime=10.0))
+
+
+def test_walltime_limit_enforced():
+    sim = Simulator()
+    platform = make_platform(max_walltime=100.0)
+    sched = BatchScheduler(sim, platform)
+    with pytest.raises(QueuePolicyError, match="walltime"):
+        sched.submit(BatchJob(nodes=1, walltime=101.0))
+    with pytest.raises(QueuePolicyError):
+        sched.submit(BatchJob(nodes=1, walltime=0.0))
+
+
+def test_walltime_kill_marks_timeout():
+    sim, sched = make_scheduler()
+    job = BatchJob(nodes=1, walltime=5.0, duration=None)  # runs forever
+    sched.submit(job)
+    sim.run()
+    assert job.state is BatchJobState.TIMEOUT
+    assert job.end_time == 5.0
+    assert sched.free_nodes == 4
+
+
+def test_fifo_queues_when_full():
+    sim, sched = make_scheduler(policy="fifo", nodes=2)
+    first = BatchJob(nodes=2, walltime=100.0, duration=10.0)
+    second = BatchJob(nodes=1, walltime=100.0, duration=10.0)
+    sched.submit(first)
+    sched.submit(second)
+    sim.run()
+    assert second.start_time == pytest.approx(10.0)
+
+
+def test_fifo_head_blocks_smaller_jobs():
+    sim, sched = make_scheduler(policy="fifo", nodes=4)
+    running = BatchJob(nodes=3, walltime=100.0, duration=50.0)
+    big = BatchJob(nodes=4, walltime=100.0, duration=10.0)
+    small = BatchJob(nodes=1, walltime=10.0, duration=5.0)
+    for job in (running, big, small):
+        sched.submit(job)
+    sim.run()
+    # Strict FIFO: the small job waits behind the big head even though a
+    # node is free the whole time.
+    assert small.start_time >= big.start_time
+
+
+def test_easy_backfills_short_jobs():
+    sim, sched = make_scheduler(policy="easy", nodes=4)
+    running = BatchJob(nodes=3, walltime=50.0, duration=50.0)
+    big = BatchJob(nodes=4, walltime=100.0, duration=10.0)
+    filler = BatchJob(nodes=1, walltime=10.0, duration=5.0)
+    sched.submit(running)
+    sched.submit(big)
+    sched.submit(filler)
+    sim.run()
+    # EASY: the 1-node filler ends (t<=10+...) before the head's shadow
+    # time (t=50), so it may run immediately.
+    assert filler.start_time == pytest.approx(0.0)
+    assert big.start_time == pytest.approx(50.0)
+
+
+def test_easy_backfill_never_delays_head():
+    sim, sched = make_scheduler(policy="easy", nodes=4)
+    running = BatchJob(nodes=3, walltime=50.0, duration=50.0)
+    head = BatchJob(nodes=4, walltime=100.0, duration=10.0)
+    # This filler's walltime crosses the shadow time AND it does not fit in
+    # the spare nodes -> must not backfill.
+    blocker = BatchJob(nodes=1, walltime=200.0, duration=200.0)
+    sched.submit(running)
+    sched.submit(head)
+    sched.submit(blocker)
+    sim.run()
+    assert head.start_time == pytest.approx(50.0)
+    assert blocker.start_time >= head.start_time
+
+
+def test_cancel_pending_job():
+    sim, sched = make_scheduler(nodes=1)
+    hog = BatchJob(nodes=1, walltime=100.0, duration=50.0)
+    queued = BatchJob(nodes=1, walltime=100.0, duration=10.0)
+    sched.submit(hog)
+    sched.submit(queued)
+    sim.run(until=1.0)
+    sched.cancel(queued)
+    sim.run()
+    assert queued.state is BatchJobState.CANCELLED
+    assert queued.start_time is None
+
+
+def test_cancel_running_job_frees_nodes():
+    sim, sched = make_scheduler()
+    job = BatchJob(nodes=4, walltime=100.0, duration=None)
+    sched.submit(job)
+    sim.run(until=1.0)
+    sched.cancel(job)
+    assert job.state is BatchJobState.CANCELLED
+    assert sched.free_nodes == 4
+    sim.run()  # the stale walltime-kill event must be harmless
+    assert job.state is BatchJobState.CANCELLED
+
+
+def test_release_requires_running():
+    sim, sched = make_scheduler()
+    job = BatchJob(nodes=1, walltime=10.0)
+    with pytest.raises(QueuePolicyError):
+        sched.release(job)
+
+
+def test_on_start_and_on_end_callbacks():
+    events = []
+    sim, sched = make_scheduler()
+    job = BatchJob(
+        nodes=1,
+        walltime=100.0,
+        duration=5.0,
+        on_start=lambda j: events.append(("start", sim.now)),
+        on_end=lambda j, s: events.append(("end", sim.now, s)),
+    )
+    sched.submit(job)
+    sim.run()
+    assert events == [("start", 0.0), ("end", 5.0, BatchJobState.COMPLETED)]
+
+
+def test_job_state_machine_rejects_illegal_edges():
+    job = BatchJob(nodes=1, walltime=10.0)
+    with pytest.raises(StateTransitionError):
+        job.advance(BatchJobState.COMPLETED)  # PENDING -> COMPLETED illegal
+
+
+def test_history_records_final_jobs():
+    sim, sched = make_scheduler()
+    jobs = [BatchJob(nodes=1, walltime=50.0, duration=float(i + 1)) for i in range(3)]
+    for job in jobs:
+        sched.submit(job)
+    sim.run()
+    assert [j.uid for j in sched.history] == [j.uid for j in jobs]
+
+
+def test_modelled_queue_wait_adds_hold():
+    sim = Simulator()
+    platform = make_platform(mean_queue_wait=100.0)
+    sched = BatchScheduler(sim, platform, model_queue_wait=True)
+    job = BatchJob(nodes=1, walltime=1000.0, duration=1.0)
+    sched.submit(job)
+    sim.run()
+    assert job.state is BatchJobState.COMPLETED
+    assert job.queue_wait > 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    jobs=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=4),  # nodes
+            st.floats(min_value=0.5, max_value=30.0),  # duration
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    policy=st.sampled_from(["fifo", "easy"]),
+)
+def test_property_scheduler_never_overallocates(jobs, policy):
+    """At every instant, running nodes <= cluster nodes; all jobs finish."""
+    sim, sched = make_scheduler(policy=policy, nodes=4)
+    samples = []
+    batch_jobs = []
+    for nodes, duration in jobs:
+        job = BatchJob(
+            nodes=nodes,
+            walltime=1000.0,
+            duration=duration,
+            on_start=lambda j: samples.append(sched.free_nodes),
+        )
+        batch_jobs.append(job)
+        sched.submit(job)
+    sim.run()
+    assert all(0 <= s <= 4 for s in samples)
+    assert all(j.state is BatchJobState.COMPLETED for j in batch_jobs)
+    assert sched.free_nodes == 4

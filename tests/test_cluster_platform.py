@@ -1,0 +1,94 @@
+"""Tests for platform specs and the registry."""
+
+import pytest
+
+from repro.cluster.platform import NodeSpec, PlatformSpec
+from repro.cluster.platforms import get_platform, list_platforms, register_platform
+from repro.exceptions import ConfigurationError, PlatformError
+
+
+def test_builtin_platforms_present():
+    names = list_platforms()
+    for expected in (
+        "local.localhost",
+        "xsede.comet",
+        "xsede.stampede",
+        "xsede.supermic",
+    ):
+        assert expected in names
+
+
+def test_paper_node_counts_and_cores():
+    comet = get_platform("xsede.comet")
+    assert (comet.nodes, comet.cores_per_node) == (1984, 24)
+    stampede = get_platform("xsede.stampede")
+    assert (stampede.nodes, stampede.cores_per_node) == (6400, 16)
+    supermic = get_platform("xsede.supermic")
+    assert (supermic.nodes, supermic.cores_per_node) == (360, 20)
+
+
+def test_paper_memory_per_node():
+    assert get_platform("xsede.comet").node.memory_gb == 120.0
+    assert get_platform("xsede.stampede").node.memory_gb == 32.0
+    assert get_platform("xsede.supermic").node.memory_gb == 60.0
+
+
+def test_unknown_platform_raises_with_hint():
+    with pytest.raises(PlatformError, match="known:"):
+        get_platform("xsede.frontera")
+
+
+def test_register_rejects_duplicates():
+    spec = get_platform("xsede.comet")
+    with pytest.raises(PlatformError, match="already registered"):
+        register_platform(spec)
+    register_platform(spec, replace=True)  # explicit replace is fine
+
+
+def test_total_cores():
+    comet = get_platform("xsede.comet")
+    assert comet.total_cores == 1984 * 24
+
+
+def test_nodes_for_cores_rounds_up():
+    comet = get_platform("xsede.comet")
+    assert comet.nodes_for_cores(1) == 1
+    assert comet.nodes_for_cores(24) == 1
+    assert comet.nodes_for_cores(25) == 2
+    assert comet.nodes_for_cores(48) == 2
+
+
+def test_nodes_for_cores_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        get_platform("xsede.comet").nodes_for_cores(0)
+
+
+def test_replace_returns_modified_copy():
+    comet = get_platform("xsede.comet")
+    fast = comet.replace(mean_queue_wait=0.0)
+    assert fast.mean_queue_wait == 0.0
+    assert comet.mean_queue_wait > 0.0
+    assert fast.nodes == comet.nodes
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cores": 0, "memory_gb": 1.0},
+        {"cores": 4, "memory_gb": 0.0},
+        {"cores": 4, "memory_gb": 1.0, "core_speed": 0.0},
+    ],
+)
+def test_node_spec_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        NodeSpec(**kwargs)
+
+
+def test_platform_spec_validation():
+    node = NodeSpec(cores=4, memory_gb=8.0)
+    with pytest.raises(ConfigurationError):
+        PlatformSpec(name="bad", nodes=0, node=node)
+    with pytest.raises(ConfigurationError):
+        PlatformSpec(name="bad", nodes=1, node=node, submit_latency=-1.0)
+    with pytest.raises(ConfigurationError):
+        PlatformSpec(name="bad", nodes=1, node=node, fs_bandwidth=0.0)

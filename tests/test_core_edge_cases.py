@@ -1,0 +1,205 @@
+"""Edge cases across the core layer that the main suites do not cover."""
+
+import pytest
+
+from repro.cluster.platform import NodeSpec, PlatformSpec
+from repro.cluster.platforms import register_platform
+from repro.core.kernel_plugin import Kernel
+from repro.core.patterns import (
+    BagOfTasks,
+    EnsembleExchange,
+    EnsembleOfPipelines,
+    SimulationAnalysisLoop,
+)
+from repro.core.profiler import breakdown_from_profile
+from repro.core.resource_handle import ResourceHandle
+from repro.pilot.states import PilotState, UnitState
+
+
+def sleep_kernel(duration=0.0):
+    kernel = Kernel(name="misc.sleep")
+    kernel.arguments = [f"--duration={duration}"]
+    return kernel
+
+
+class TestEECustomPairing:
+    def test_custom_select_pairs_controls_matching(self, sim_handle_factory):
+        """A ring topology: pair (1,3) and (2,4) instead of neighbours."""
+
+        class RingEE(EnsembleExchange):
+            def simulation_stage(self, iteration, instance):
+                return sleep_kernel()
+
+            def exchange_stage(self, iteration, instances):
+                return sleep_kernel()
+
+            def select_pairs(self, waiting):
+                pairs = []
+                pool = sorted(waiting)
+                for a, b in ((1, 3), (2, 4)):
+                    if a in pool and b in pool:
+                        pairs.append((a, b))
+                return pairs
+
+        handle = sim_handle_factory(cores=8)
+        pattern = RingEE(ensemble_size=4, iterations=1,
+                         exchange_mode="pairwise")
+        handle.run(pattern)
+        exchanged = sorted(
+            tuple(u.description.tags["instances"])
+            for u in pattern.units
+            if u.description.tags.get("phase") == "exchange"
+        )
+        assert exchanged == [(1, 3), (2, 4)]
+
+    def test_two_member_global_exchange(self, sim_handle_factory):
+        class TinyEE(EnsembleExchange):
+            def simulation_stage(self, iteration, instance):
+                return sleep_kernel()
+
+            def exchange_stage(self, iteration, instances):
+                return sleep_kernel()
+
+        handle = sim_handle_factory()
+        pattern = TinyEE(ensemble_size=2, iterations=2, exchange_mode="global")
+        handle.run(pattern)
+        exchanges = [
+            u for u in pattern.units
+            if u.description.tags.get("phase") == "exchange"
+        ]
+        assert len(exchanges) == 2
+        assert all(
+            tuple(u.description.tags["instances"]) == (1, 2) for u in exchanges
+        )
+
+
+class TestSALShapes:
+    def test_more_analyses_than_simulations(self, sim_handle_factory):
+        """analysis_instances > simulation_instances: PREV_SIMULATION
+        clamps to the last simulation; all analyses run."""
+
+        class WideAnalysis(SimulationAnalysisLoop):
+            def simulation_stage(self, iteration, instance):
+                return sleep_kernel()
+
+            def analysis_stage(self, iteration, instance):
+                return sleep_kernel()
+
+        handle = sim_handle_factory()
+        pattern = WideAnalysis(iterations=1, simulation_instances=2,
+                               analysis_instances=5)
+        handle.run(pattern)
+        analyses = [
+            u for u in pattern.units
+            if u.description.tags.get("phase") == "ana"
+        ]
+        assert len(analyses) == 5
+        assert all(u.state is UnitState.DONE for u in pattern.units)
+
+    def test_single_iteration_single_instance(self, sim_handle_factory):
+        class Minimal(SimulationAnalysisLoop):
+            def simulation_stage(self, iteration, instance):
+                return sleep_kernel()
+
+            def analysis_stage(self, iteration, instance):
+                return sleep_kernel()
+
+        handle = sim_handle_factory()
+        pattern = Minimal(iterations=1, simulation_instances=1)
+        handle.run(pattern)
+        assert len(pattern.units) == 2
+
+
+class TestGenericStageOverride:
+    def test_stage_override_runs_through_driver(self, sim_handle_factory):
+        class Programmatic(EnsembleOfPipelines):
+            def stage(self, stage_number, instance):
+                return sleep_kernel(float(stage_number))
+
+        handle = sim_handle_factory()
+        pattern = Programmatic(ensemble_size=2, pipeline_size=4)
+        handle.run(pattern)
+        assert len(pattern.units) == 8
+        # Stage k's modelled duration is k seconds.
+        for unit in pattern.units:
+            stage = unit.description.tags["stage"]
+            assert unit.execution_time == pytest.approx(float(stage), rel=0.1)
+
+
+class TestStagingCostModel:
+    def test_data_size_drives_sim_staging_cost(self, sim_handle_factory):
+        class HeavyInput(BagOfTasks):
+            def __init__(self, nbytes):
+                super().__init__(size=1)
+                self.nbytes = nbytes
+
+            def task(self, instance):
+                kernel = Kernel(name="misc.sleep")
+                kernel.arguments = ["--duration=1"]
+                kernel.copy_input_data = ["$SHARED/big.dat"]
+                kernel.data_size = self.nbytes
+                return kernel
+
+        durations = {}
+        for nbytes in (1024, int(4e9)):
+            handle = sim_handle_factory()
+            pattern = HeavyInput(nbytes)
+            handle.run(pattern)
+            unit = pattern.units[0]
+            durations[nbytes] = unit.duration(
+                UnitState.AGENT_STAGING_INPUT, UnitState.AGENT_SCHEDULING
+            )
+        assert durations[int(4e9)] > durations[1024] + 1.0
+
+
+class TestQueueWaitModel:
+    def test_allocation_waits_through_modelled_queue(self):
+        handle = ResourceHandle(
+            "xsede.comet", cores=24, walltime=120, mode="sim",
+            model_queue_wait=True, seed=123,
+        )
+        handle.allocate()
+        assert handle.pilot.state is PilotState.ACTIVE
+        queue_wait = handle.pilot.saga_job.timestamps["RUNNING"]
+        # Exponential hold with mean 60 s: strictly positive here.
+        assert queue_wait > 1.0
+        handle.deallocate()
+
+
+class TestCustomPlatform:
+    def test_register_and_run_on_custom_machine(self):
+        spec = PlatformSpec(
+            name="test.minicluster",
+            nodes=2,
+            node=NodeSpec(cores=4, memory_gb=8.0, core_speed=2.0),
+            mean_queue_wait=0.0,
+            agent_bootstrap=1.0,
+        )
+        register_platform(spec, replace=True)
+
+        class Bag(BagOfTasks):
+            def task(self, instance):
+                return sleep_kernel(100.0)
+
+        handle = ResourceHandle("test.minicluster", cores=8, walltime=120,
+                                mode="sim")
+        handle.allocate()
+        pattern = Bag(size=8)
+        handle.run(pattern)
+        handle.deallocate()
+        # core_speed 2.0 halves the modelled duration.
+        assert pattern.units[0].execution_time == pytest.approx(50.0, rel=0.05)
+
+
+class TestWaves:
+    def test_undersized_pilot_shows_waves_in_breakdown(self, sim_handle_factory):
+        class Bag(BagOfTasks):
+            def task(self, instance):
+                return sleep_kernel(100.0)
+
+        handle = sim_handle_factory(cores=24)
+        pattern = Bag(size=72)  # 3 waves
+        handle.run(pattern)
+        breakdown = breakdown_from_profile(handle.profile, pattern)
+        assert breakdown.execution_time == pytest.approx(300.0, rel=0.05)
+        assert breakdown.makespan >= breakdown.execution_time

@@ -1,0 +1,144 @@
+"""Tests for kernel plugins, the registry and kernel binding."""
+
+import pytest
+
+from repro.cluster.platforms import get_platform
+from repro.core.kernel_plugin import Kernel, KernelPlugin, MachineConfig
+from repro.core.kernel_registry import (
+    get_kernel_plugin,
+    list_kernel_plugins,
+    register_kernel,
+)
+from repro.exceptions import KernelError, NoKernelPluginError
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = list_kernel_plugins()
+        for expected in (
+            "misc.mkfile",
+            "misc.ccount",
+            "misc.sleep",
+            "misc.echo",
+            "md.amber",
+            "md.gromacs",
+            "analysis.coco",
+            "analysis.lsdmap",
+            "exchange.temperature",
+        ):
+            assert expected in names
+
+    def test_unknown_kernel_raises_with_hint(self):
+        with pytest.raises(NoKernelPluginError, match="known:"):
+            get_kernel_plugin("md.namd")
+
+    def test_duplicate_registration_rejected(self):
+        cls = get_kernel_plugin("misc.sleep")
+        with pytest.raises(KernelError, match="already registered"):
+            register_kernel(cls)
+        register_kernel(cls, replace=True)
+
+    def test_nameless_plugin_rejected(self):
+        class Nameless(KernelPlugin):
+            pass
+
+        with pytest.raises(KernelError, match="no name"):
+            register_kernel(Nameless)
+
+    def test_custom_kernel_registration_and_use(self):
+        class Doubler(KernelPlugin):
+            name = "test.doubler"
+            required_args = ("value",)
+
+            def execute(self, ctx):
+                return 2 * int(ctx.arg("value"))
+
+            def duration(self, cores, platform, args):
+                return 1.0
+
+        register_kernel(Doubler, replace=True)
+        kernel = Kernel(name="test.doubler")
+        kernel.arguments = ["--value=21"]
+        description = kernel.bind("local.localhost", get_platform("local.localhost"))
+        assert description.name == "test.doubler"
+
+
+class TestKernelBinding:
+    def test_missing_required_args_raise(self):
+        kernel = Kernel(name="misc.mkfile")  # requires size and filename
+        with pytest.raises(KernelError, match="--size"):
+            kernel.bind("local.localhost", get_platform("local.localhost"))
+
+    def test_bind_produces_valid_description(self):
+        kernel = Kernel(name="misc.mkfile")
+        kernel.arguments = ["--size=100", "--filename=f.txt"]
+        description = kernel.bind("xsede.comet", get_platform("xsede.comet"))
+        assert description.cores == 1
+        assert not description.mpi
+        assert description.payload is not None
+        assert description.duration_model is not None
+
+    def test_multicore_kernel_is_mpi(self):
+        kernel = Kernel(name="md.amber")
+        kernel.arguments = ["--nsteps=100"]
+        kernel.cores = 16
+        description = kernel.bind("xsede.stampede", get_platform("xsede.stampede"))
+        assert description.mpi
+        assert description.cores == 16
+
+    def test_staging_directives_parsed(self):
+        kernel = Kernel(name="misc.ccount")
+        kernel.arguments = ["--inputfile=in.txt", "--outputfile=out.txt"]
+        kernel.link_input_data = ["$SHARED/data.txt > in.txt"]
+        kernel.copy_input_data = ["plain.txt"]
+        kernel.copy_output_data = ["out.txt > results/out.txt"]
+        description = kernel.bind("local.localhost", get_platform("local.localhost"))
+        assert description.input_staging[0].action == "link"
+        assert description.input_staging[0].source == "$SHARED/data.txt"
+        assert description.input_staging[0].target == "in.txt"
+        assert description.input_staging[1].action == "copy"
+        assert description.input_staging[1].target == "plain.txt"
+        assert description.output_staging[0].target == "results/out.txt"
+
+    def test_machine_config_speed_factor_scales_duration(self):
+        kernel_comet = Kernel(name="md.gromacs")
+        kernel_comet.arguments = ["--nsteps=1000"]
+        comet = get_platform("xsede.comet")
+        desc_comet = kernel_comet.bind("xsede.comet", comet)
+        kernel_generic = Kernel(name="md.gromacs")
+        kernel_generic.arguments = ["--nsteps=1000"]
+        desc_generic = kernel_generic.bind("unknown.machine", comet)
+        # Comet's config is 1.3x vs generic 1.25x -> comet slightly faster.
+        assert desc_comet.duration_model(1, comet) < desc_generic.duration_model(1, comet)
+
+    def test_get_arg_helper(self):
+        kernel = Kernel(name="misc.sleep")
+        kernel.arguments = ["--duration=3"]
+        assert kernel.get_arg("duration") == "3"
+        assert kernel.get_arg("missing", "7") == "7"
+
+    def test_environment_merging(self):
+        class EnvKernel(KernelPlugin):
+            name = "test.env"
+            machine_configs = {
+                "*": MachineConfig(environment={"A": "1", "B": "1"})
+            }
+
+            def execute(self, ctx):
+                return None
+
+            def duration(self, cores, platform, args):
+                return 0.0
+
+        register_kernel(EnvKernel, replace=True)
+        kernel = Kernel(name="test.env")
+        kernel.environment = {"B": "2"}
+        description = kernel.bind("anywhere", get_platform("local.localhost"))
+        assert description.environment == {"A": "1", "B": "2"}
+
+    def test_tags_propagate(self):
+        kernel = Kernel(name="misc.sleep")
+        kernel.arguments = ["--duration=0"]
+        kernel.tags = {"stage": 3}
+        description = kernel.bind("local.localhost", get_platform("local.localhost"))
+        assert description.tags["stage"] == 3

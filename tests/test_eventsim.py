@@ -1,0 +1,174 @@
+"""Tests for the discrete-event simulator, incl. ordering properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import SimulationError
+from repro.eventsim import RandomStreams, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(3.0, lambda: out.append("c"))
+    sim.schedule(1.0, lambda: out.append("a"))
+    sim.schedule(2.0, lambda: out.append("b"))
+    sim.run()
+    assert out == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_priority_breaks_ties():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, lambda: out.append("low"), priority=5)
+    sim.schedule(1.0, lambda: out.append("high"), priority=0)
+    sim.run()
+    assert out == ["high", "low"]
+
+
+def test_same_time_same_priority_is_fifo():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(1.0, lambda i=i: out.append(i))
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    out = []
+
+    def chain(n):
+        out.append(n)
+        if n < 5:
+            sim.schedule(1.0, lambda: chain(n + 1))
+
+    sim.schedule(0.0, lambda: chain(0))
+    sim.run()
+    assert out == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    out = []
+    event = sim.schedule(1.0, lambda: out.append("cancelled"))
+    sim.schedule(2.0, lambda: out.append("kept"))
+    sim.cancel(event)
+    sim.run()
+    assert out == ["kept"]
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, lambda: out.append(1))
+    sim.schedule(2.0, lambda: out.append(2))
+    sim.run(until=1.0)
+    assert out == [1]
+    assert sim.now == 1.0
+    sim.run()
+    assert out == [1, 2]
+
+
+def test_run_until_advances_clock_with_empty_heap():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_run_max_events():
+    sim = Simulator()
+    out = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: out.append(i))
+    sim.run(max_events=2)
+    assert out == [0, 1]
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    caught = []
+
+    def bad():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            caught.append(exc)
+
+    sim.schedule(1.0, bad)
+    sim.run()
+    assert len(caught) == 1
+
+
+def test_step_returns_none_when_empty():
+    assert Simulator().step() is None
+
+
+def test_events_processed_counts_only_executed():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.cancel(event)
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.cancel(e1)
+    assert sim.pending == 1
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=60
+    )
+)
+def test_property_execution_times_are_sorted(delays):
+    """Events always run in non-decreasing time order, whatever the input."""
+    sim = Simulator()
+    seen: list[float] = []
+    for delay in delays:
+        sim.schedule(delay, lambda: seen.append(sim.now))
+    sim.run()
+    assert len(seen) == len(delays)
+    assert seen == sorted(seen)
+    assert sim.now == max(delays)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_random_streams_reproducible(seed):
+    a = RandomStreams(seed)
+    b = RandomStreams(seed)
+    assert a.get("x").random() == b.get("x").random()
+
+
+def test_random_streams_independent_of_creation_order():
+    a = RandomStreams(7)
+    first = a.get("alpha").random()
+    b = RandomStreams(7)
+    b.get("zeta").random()  # an extra stream must not shift "alpha"
+    assert b.get("alpha").random() == first
+
+
+def test_random_streams_differ_across_names():
+    rs = RandomStreams(3)
+    assert rs.get("a").random() != rs.get("b").random()
+
+
+def test_random_streams_spawn_is_independent():
+    parent = RandomStreams(5)
+    child = parent.spawn("agent")
+    assert child.seed != parent.seed
+    assert child.get("x").random() != parent.get("x").random()

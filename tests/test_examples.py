@@ -1,0 +1,63 @@
+"""Smoke tests: every shipped example must run clean end-to-end.
+
+Each example is executed as a subprocess (its own interpreter, like a
+user would run it) and its advertised output is checked.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "character counts per pipeline: [1000, 2000, 3000, 4000]" in out
+    assert "TTC decomposition" in out
+
+
+def test_scaling_study():
+    out = run_example("scaling_study.py")
+    assert out.count("[OK]") == 4
+    assert "FAIL" not in out
+
+
+def test_adaptive_convergence():
+    out = run_example("adaptive_convergence.py")
+    assert "strategy chose" in out
+    assert "converged after" in out
+
+
+@pytest.mark.slow
+def test_replica_exchange():
+    out = run_example("replica_exchange.py")
+    assert "exchange acceptance" in out
+    assert "basin occupancy" in out
+
+
+@pytest.mark.slow
+def test_adaptive_sampling():
+    out = run_example("adaptive_sampling.py")
+    assert "cumulative grid coverage" in out
+
+
+@pytest.mark.slow
+def test_concurrent_campaign():
+    out = run_example("concurrent_campaign.py")
+    assert "pipeline char counts: [500, 1000, 1500]" in out

@@ -1,0 +1,85 @@
+"""Tests of the figure runners at reduced scale: every claim must hold.
+
+The benchmarks run the paper-scale configurations; here we verify the
+machinery and the qualitative shapes with small, fast parameter sets.
+"""
+
+import pytest
+
+from repro.experiments import ablations, fig3, fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments.base import ExperimentResult
+
+
+def assert_claims(result: ExperimentResult):
+    failed = [claim for claim, holds in result.claims.items() if not holds]
+    assert not failed, f"{result.figure}: failed claims: {failed}\n{result.report()}"
+
+
+class TestFigureRunners:
+    def test_fig3_small(self):
+        result = fig3.run(task_counts=(8, 16, 32))
+        assert_claims(result)
+        assert len(result.rows) == 9  # 3 patterns x 3 sizes
+
+    def test_fig4_small(self):
+        result = fig4.run(task_counts=(8, 16))
+        assert_claims(result)
+
+    def test_fig5_small(self):
+        result = fig5.run(replicas=64, core_counts=(8, 16, 32, 64))
+        assert_claims(result)
+        sim = result.series["simulation"]
+        # Strong scaling: 2x cores -> ~0.5x sim time.
+        assert sim.y[0] / sim.y[-1] == pytest.approx(8.0, rel=0.15)
+
+    def test_fig6_small(self):
+        result = fig6.run(replica_counts=(8, 16, 32, 64))
+        assert_claims(result)
+        exchange = result.series["exchange"]
+        assert exchange.y[-1] > exchange.y[0]
+
+    def test_fig7_small(self):
+        result = fig7.run(simulations=64, core_counts=(8, 16, 32, 64))
+        assert_claims(result)
+
+    def test_fig8_small(self):
+        result = fig8.run(sim_counts=(8, 16, 32, 64))
+        assert_claims(result)
+
+    def test_fig9_small(self):
+        result = fig9.run(simulations=8, cores_per_sim=(1, 4, 8))
+        assert_claims(result)
+        sim = result.series["simulation"]
+        assert sim.y[0] / sim.y[-1] == pytest.approx(8.0, rel=0.25)
+
+    def test_reports_render(self):
+        result = fig3.run(task_counts=(8,))
+        text = result.report()
+        assert "fig3" in text
+        assert "OK" in text
+
+
+class TestAblations:
+    def test_pilot_vs_batch(self):
+        result = ablations.pilot_vs_batch(ntasks=12, task_duration=60.0)
+        assert_claims(result)
+
+    def test_scheduler_policy(self):
+        result = ablations.scheduler_policy(ntasks=12)
+        assert_claims(result)
+
+    def test_overhead_scaling(self):
+        result = ablations.overhead_scaling(task_counts=(8, 32, 128))
+        assert_claims(result)
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        a = fig5.run(replicas=16, core_counts=(4, 8), seed=3)
+        b = fig5.run(replicas=16, core_counts=(4, 8), seed=3)
+        assert a.rows == b.rows
+
+
+def test_ablation_fault_resilience_small():
+    result = ablations.fault_resilience(fault_rates=(0.0, 0.2), ntasks=16)
+    assert_claims(result)

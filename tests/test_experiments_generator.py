@@ -1,0 +1,97 @@
+"""Tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import ablations
+from repro.experiments.generator import (
+    SyntheticBag,
+    WorkloadSpec,
+    generate_durations,
+)
+
+
+class TestGenerateDurations:
+    def test_cv_zero_is_constant(self):
+        rng = np.random.default_rng(0)
+        durations = generate_durations(10, 50.0, 0.0, rng)
+        assert np.all(durations == 50.0)
+
+    def test_moments_match_request(self):
+        rng = np.random.default_rng(1)
+        durations = generate_durations(200_000, 100.0, 1.0, rng)
+        assert durations.mean() == pytest.approx(100.0, rel=0.02)
+        cv = durations.std() / durations.mean()
+        assert cv == pytest.approx(1.0, rel=0.05)
+
+    def test_all_positive(self):
+        rng = np.random.default_rng(2)
+        durations = generate_durations(10_000, 10.0, 3.0, rng)
+        assert (durations > 0).all()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            generate_durations(0, 1.0, 0.0, rng)
+        with pytest.raises(ConfigurationError):
+            generate_durations(1, 0.0, 0.0, rng)
+        with pytest.raises(ConfigurationError):
+            generate_durations(1, 1.0, -0.5, rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mean=st.floats(min_value=0.1, max_value=1e4),
+        cv=st.floats(min_value=0.0, max_value=5.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_deterministic_and_positive(self, mean, cv, seed):
+        a = generate_durations(50, mean, cv, np.random.default_rng(seed))
+        b = generate_durations(50, mean, cv, np.random.default_rng(seed))
+        assert np.array_equal(a, b)
+        assert (a > 0).all()
+
+
+class TestWorkloadSpec:
+    def test_wide_fraction_realized(self):
+        spec = WorkloadSpec(ntasks=100, wide_fraction=0.3, wide_cores=4)
+        shapes = spec.realize()
+        wide = [cores for cores, _ in shapes if cores == 4]
+        assert len(wide) == 30
+        assert all(cores in (1, 4) for cores, _ in shapes)
+
+    def test_realize_is_deterministic(self):
+        spec = WorkloadSpec(ntasks=20, duration_cv=1.0, seed=5)
+        assert spec.realize() == spec.realize()
+
+    def test_total_core_seconds(self):
+        spec = WorkloadSpec(ntasks=10, mean_duration=100.0, duration_cv=0.0)
+        assert spec.total_core_seconds == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(ntasks=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(ntasks=1, wide_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(ntasks=1, wide_cores=1)
+
+
+class TestSyntheticBag:
+    def test_runs_on_sim(self, sim_handle_factory):
+        spec = WorkloadSpec(ntasks=12, mean_duration=50.0, duration_cv=1.0,
+                            wide_fraction=0.25, wide_cores=4)
+        handle = sim_handle_factory(cores=16)
+        pattern = SyntheticBag(spec)
+        handle.run(pattern)
+        assert all(u.state.value == "DONE" for u in pattern.units)
+        widths = sorted(u.description.cores for u in pattern.units)
+        assert widths.count(4) == 3
+
+    def test_heterogeneity_ablation_small(self):
+        result = ablations.heterogeneity_utilization(
+            cvs=(0.0, 2.0), ntasks=32, cores=24
+        )
+        failed = [c for c, ok in result.claims.items() if not ok]
+        assert not failed, f"failed: {failed}\n{result.report()}"

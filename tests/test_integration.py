@@ -1,0 +1,222 @@
+"""End-to-end integration tests across all layers.
+
+These run complete science workflows — the kind of application the paper's
+ExTASY project builds on EnTK — and verify both the orchestration *and*
+the science outputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    EnsembleExchange,
+    Kernel,
+    PatternSequence,
+    ResourceHandle,
+    SimulationAnalysisLoop,
+)
+from repro.core.patterns import BagOfTasks
+from repro.md.trajectory import Trajectory
+from repro.pilot.states import UnitState
+
+
+class TestExtasyLikeWorkflow:
+    """Setup bag -> adaptive MD/CoCo loop -> LSDMap post-analysis,
+    composed as a PatternSequence on one allocation, fully executed."""
+
+    class Setup(BagOfTasks):
+        def task(self, instance):
+            kernel = Kernel(name="misc.echo")
+            kernel.arguments = [
+                f"--message=seed-structure-{instance}",
+                "--outputfile=seed.txt",
+            ]
+            return kernel
+
+    class Sampling(SimulationAnalysisLoop):
+        def __init__(self):
+            super().__init__(iterations=2, simulation_instances=3,
+                             analysis_instances=1)
+
+        def simulation_stage(self, iteration, instance):
+            kernel = Kernel(name="md.amber")
+            kernel.arguments = [
+                "--nsteps=200",
+                "--temperature=1.0",
+                "--outfile=trajectory.npz",
+                f"--seed={10 * iteration + instance}",
+            ]
+            if iteration > 1:
+                kernel.arguments += ["--startfile=coco.npz",
+                                     f"--startindex={instance - 1}"]
+                kernel.link_input_data = ["$PREV_ANALYSIS/coco.npz"]
+            return kernel
+
+        def analysis_stage(self, iteration, instance):
+            kernel = Kernel(name="analysis.coco")
+            kernel.arguments = [
+                "--pattern=traj_*.npz",
+                "--npoints=3",
+                "--outfile=coco.npz",
+            ]
+            kernel.link_input_data = [
+                f"$SIMULATION_{iteration}_{i}/trajectory.npz > traj_{i}.npz"
+                for i in range(1, 4)
+            ]
+            return kernel
+
+    def test_full_workflow_executes(self, local_handle):
+        setup = self.Setup(size=3)
+        sampling = self.Sampling()
+        sequence = PatternSequence([setup, sampling])
+        local_handle.run(sequence)
+        assert all(u.state is UnitState.DONE for u in sequence.units)
+        # 3 echo + 2*(3 sims + 1 coco) = 11 tasks
+        assert len(sequence.units) == 11
+        # The final CoCo output exists and contains 3 proposed points.
+        final_coco = [
+            u for u in sampling.units
+            if u.description.name == "analysis.coco"
+            and u.description.tags["iteration"] == 2
+        ][0]
+        with np.load(f"{final_coco.sandbox}/coco.npz") as data:
+            assert data["new_points"].shape == (3, 2)
+
+
+class TestREMDScience:
+    """Replica exchange through the full stack preserves the physics."""
+
+    class REMD(EnsembleExchange):
+        def __init__(self, replicas=4, iterations=3):
+            super().__init__(ensemble_size=replicas, iterations=iterations,
+                             exchange_mode="global")
+
+        def simulation_stage(self, iteration, instance):
+            kernel = Kernel(name="md.amber")
+            kernel.arguments = [
+                "--nsteps=100",
+                f"--temperature={0.5 * instance}",
+                "--outfile=replica.npz",
+                f"--seed={100 * iteration + instance}",
+            ]
+            if iteration > 1:
+                kernel.arguments.append("--startfile=previous.npz")
+                kernel.link_input_data = [
+                    "$PREV_SIMULATION/replica.npz > previous.npz"
+                ]
+            return kernel
+
+        def exchange_stage(self, iteration, instances):
+            kernel = Kernel(name="exchange.temperature")
+            kernel.arguments = [
+                "--mode=global",
+                "--pattern=replica_*.npz",
+                "--tmin=0.5",
+                "--tmax=2.0",
+                f"--phase={iteration % 2}",
+                f"--seed={iteration}",
+                "--outfile=exchange.npz",
+            ]
+            kernel.link_input_data = [
+                f"$REPLICA_{i}/replica.npz > replica_{i:03d}.npz"
+                for i in instances
+            ]
+            return kernel
+
+    def test_exchange_permutations_conserve_replicas(self, local_handle):
+        pattern = self.REMD()
+        local_handle.run(pattern)
+        exchanges = [
+            u for u in pattern.units
+            if u.description.name == "exchange.temperature"
+        ]
+        assert len(exchanges) == 3
+        for exchange in exchanges:
+            with np.load(f"{exchange.sandbox}/exchange.npz") as data:
+                permutation = data["permutation"]
+                # The multiset of replicas is conserved by every exchange.
+                assert sorted(permutation.tolist()) == [0, 1, 2, 3]
+                # Temperatures form the requested geometric ladder.
+                temps = data["temperatures"]
+                assert temps[0] == pytest.approx(0.5)
+                assert temps[-1] == pytest.approx(2.0)
+
+    def test_replica_continuity_across_iterations(self, local_handle):
+        """Each replica's restart equals its previous final frame."""
+        pattern = self.REMD(replicas=2, iterations=2)
+        local_handle.run(pattern)
+        sims = {
+            (u.description.tags["iteration"], u.description.tags["instance"]): u
+            for u in pattern.units
+            if u.description.name == "md.amber"
+        }
+        for instance in (1, 2):
+            first = Trajectory.load(f"{sims[(1, instance)].sandbox}/replica.npz")
+            second_start = Trajectory.load(
+                f"{sims[(2, instance)].sandbox}/previous.npz"
+            )
+            assert np.allclose(second_start.final_position,
+                               first.final_position)
+
+
+class TestCrossModeConsistency:
+    """Local and simulated executions agree on orchestration structure."""
+
+    class Bag(BagOfTasks):
+        def task(self, instance):
+            kernel = Kernel(name="misc.sleep")
+            kernel.arguments = ["--duration=0"]
+            return kernel
+
+    def unit_signature(self, pattern):
+        return sorted(
+            (u.description.name, u.description.tags.get("stage"),
+             u.description.tags.get("instance"))
+            for u in pattern.units
+        )
+
+    def test_same_units_both_modes(self, local_handle, sim_handle_factory):
+        local_pattern = self.Bag(size=5)
+        local_handle.run(local_pattern)
+        sim_pattern = self.Bag(size=5)
+        sim_handle_factory().run(sim_pattern)
+        assert self.unit_signature(local_pattern) == self.unit_signature(
+            sim_pattern
+        )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    ensemble=st.integers(min_value=1, max_value=6),
+    stages=st.integers(min_value=1, max_value=4),
+    cores=st.integers(min_value=1, max_value=16),
+)
+def test_property_random_pipeline_shapes_complete(ensemble, stages, cores):
+    """Any (ensemble, stages, cores) pipeline completes under simulation
+    with exactly ensemble*stages DONE units and correct per-pipeline order."""
+    from repro.core.patterns import EnsembleOfPipelines
+
+    class Shaped(EnsembleOfPipelines):
+        def stage(self, stage_number, instance):
+            kernel = Kernel(name="misc.sleep")
+            kernel.arguments = ["--duration=5"]
+            return kernel
+
+    handle = ResourceHandle("xsede.comet", cores=cores, walltime=600, mode="sim")
+    handle.allocate()
+    pattern = Shaped(ensemble_size=ensemble, pipeline_size=stages)
+    handle.run(pattern)
+    handle.deallocate()
+    assert len(pattern.units) == ensemble * stages
+    assert all(u.state is UnitState.DONE for u in pattern.units)
+    for instance in range(1, ensemble + 1):
+        stamps = [
+            u.timestamps["EXECUTING"]
+            for u in sorted(
+                (u for u in pattern.units
+                 if u.description.tags["instance"] == instance),
+                key=lambda u: u.description.tags["stage"],
+            )
+        ]
+        assert stamps == sorted(stamps)

@@ -1,0 +1,279 @@
+"""Tests for the built-in kernel library, executing payloads for real."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.platforms import get_platform
+from repro.core.kernel_plugin import Kernel
+from repro.exceptions import KernelError
+from repro.md.trajectory import Trajectory
+from repro.pilot.agent.executor import TaskContext
+from repro.pilot.description import ComputeUnitDescription
+
+
+def make_ctx(tmp_path, args: dict[str, str], cores: int = 1) -> TaskContext:
+    description = ComputeUnitDescription(
+        executable="t",
+        arguments=[f"--{k}={v}" for k, v in args.items()],
+        cores=cores,
+        mpi=cores > 1,
+    )
+    return TaskContext(
+        description=description,
+        sandbox=tmp_path,
+        cores=cores,
+        uid="unit.test",
+        args=dict(args),
+    )
+
+
+def run_kernel(name, tmp_path, args, cores=1):
+    kernel = Kernel(name=name)
+    ctx = make_ctx(tmp_path, args, cores=cores)
+    return kernel._plugin.execute(ctx)
+
+
+def model_duration(name, args, cores=1, platform="xsede.comet"):
+    kernel = Kernel(name=name)
+    return kernel._plugin.duration(cores, get_platform(platform), args)
+
+
+class TestMiscKernels:
+    def test_mkfile_creates_exact_size(self, tmp_path):
+        out = run_kernel("misc.mkfile", tmp_path,
+                         {"size": "512", "filename": "f.txt"})
+        assert out == 512
+        assert (tmp_path / "f.txt").stat().st_size == 512
+
+    def test_mkfile_rejects_negative(self, tmp_path):
+        with pytest.raises(KernelError):
+            run_kernel("misc.mkfile", tmp_path,
+                       {"size": "-1", "filename": "f.txt"})
+
+    def test_ccount_counts_characters(self, tmp_path):
+        (tmp_path / "in.txt").write_text("hello world")
+        out = run_kernel("misc.ccount", tmp_path,
+                         {"inputfile": "in.txt", "outputfile": "n.txt"})
+        assert out == 11
+        assert (tmp_path / "n.txt").read_text().strip() == "11"
+
+    def test_ccount_missing_input(self, tmp_path):
+        with pytest.raises(KernelError, match="missing"):
+            run_kernel("misc.ccount", tmp_path,
+                       {"inputfile": "absent.txt", "outputfile": "n.txt"})
+
+    def test_mkfile_ccount_round_trip(self, tmp_path):
+        run_kernel("misc.mkfile", tmp_path, {"size": "777", "filename": "d.txt"})
+        out = run_kernel("misc.ccount", tmp_path,
+                         {"inputfile": "d.txt", "outputfile": "n.txt"})
+        assert out == 777
+
+    def test_sleep_returns_duration(self, tmp_path):
+        assert run_kernel("misc.sleep", tmp_path, {"duration": "0"}) == 0.0
+        with pytest.raises(KernelError):
+            run_kernel("misc.sleep", tmp_path, {"duration": "-1"})
+
+    def test_echo_writes_message(self, tmp_path):
+        run_kernel("misc.echo", tmp_path,
+                   {"message": "hi there", "outputfile": "m.txt"})
+        assert (tmp_path / "m.txt").read_text() == "hi there\n"
+
+    def test_mkfile_duration_scales_with_size(self):
+        small = model_duration("misc.mkfile", {"size": "1000", "filename": "f"})
+        large = model_duration("misc.mkfile", {"size": "100000000", "filename": "f"})
+        assert large > small
+
+    def test_sleep_duration_model_is_exact(self):
+        assert model_duration("misc.sleep", {"duration": "42"}) == 42.0
+
+
+class TestMDKernels:
+    def test_amber_produces_trajectory(self, tmp_path):
+        out = run_kernel("md.amber", tmp_path,
+                         {"nsteps": "200", "outfile": "t.npz", "seed": "1"})
+        trajectory = Trajectory.load(tmp_path / "t.npz")
+        assert trajectory.nframes == out["nframes"] == 20
+        assert trajectory.dim == 2
+        assert np.isfinite(trajectory.energies).all()
+
+    def test_duration_ps_conversion(self, tmp_path):
+        out = run_kernel("md.amber", tmp_path,
+                         {"duration-ps": "1", "outfile": "t.npz",
+                          "stride": "100", "seed": "1"})
+        # 1 ps = 500 steps, stride 100 -> 5 frames.
+        assert out["nframes"] == 5
+
+    def test_nsteps_required(self, tmp_path):
+        with pytest.raises(KernelError, match="nsteps"):
+            run_kernel("md.amber", tmp_path, {"outfile": "t.npz"})
+
+    def test_start_from_prior_trajectory(self, tmp_path):
+        run_kernel("md.amber", tmp_path,
+                   {"nsteps": "100", "outfile": "first.npz", "seed": "1"})
+        first = Trajectory.load(tmp_path / "first.npz")
+        run_kernel("md.amber", tmp_path,
+                   {"nsteps": "10", "outfile": "second.npz", "seed": "2",
+                    "startfile": "first.npz", "stride": "1",
+                    "temperature": "0.0001"})
+        second = Trajectory.load(tmp_path / "second.npz")
+        # At ~zero temperature the continuation stays near the restart point.
+        assert np.linalg.norm(second.positions[0] - first.final_position) < 0.5
+
+    def test_start_from_coco_points(self, tmp_path):
+        points = np.array([[0.5, 0.5], [-0.5, -0.5]])
+        np.savez(tmp_path / "coco.npz", new_points=points)
+        run_kernel("md.amber", tmp_path,
+                   {"nsteps": "10", "outfile": "t.npz", "stride": "1",
+                    "startfile": "coco.npz", "startindex": "1",
+                    "temperature": "0.0001", "seed": "3"})
+        trajectory = Trajectory.load(tmp_path / "t.npz")
+        assert np.linalg.norm(trajectory.positions[0] - points[1]) < 0.5
+
+    def test_missing_startfile_fails(self, tmp_path):
+        with pytest.raises(KernelError, match="start file"):
+            run_kernel("md.amber", tmp_path,
+                       {"nsteps": "10", "outfile": "t.npz",
+                        "startfile": "ghost.npz"})
+
+    def test_unknown_system_rejected(self, tmp_path):
+        with pytest.raises(KernelError, match="unknown MD system"):
+            run_kernel("md.amber", tmp_path,
+                       {"nsteps": "10", "outfile": "t.npz",
+                        "system": "villin"})
+
+    def test_duration_model_scales(self):
+        base = model_duration("md.amber", {"nsteps": "3000"}, cores=1)
+        wide = model_duration("md.amber", {"nsteps": "3000"}, cores=16)
+        assert base == pytest.approx(3000 * 2881 / 4.0e4)
+        assert wide == pytest.approx(base / 16)
+
+    def test_gromacs_modelled_faster_than_amber(self):
+        amber = Kernel(name="md.amber")
+        amber.arguments = ["--nsteps=3000"]
+        gromacs = Kernel(name="md.gromacs")
+        gromacs.arguments = ["--nsteps=3000"]
+        platform = get_platform("xsede.comet")
+        amber_desc = amber.bind("xsede.comet", platform)
+        gromacs_desc = gromacs.bind("xsede.comet", platform)
+        assert gromacs_desc.duration_model(1, platform) < amber_desc.duration_model(
+            1, platform
+        )
+
+    def test_deterministic_given_seed(self, tmp_path):
+        run_kernel("md.amber", tmp_path,
+                   {"nsteps": "100", "outfile": "a.npz", "seed": "99"})
+        run_kernel("md.amber", tmp_path,
+                   {"nsteps": "100", "outfile": "b.npz", "seed": "99"})
+        a = Trajectory.load(tmp_path / "a.npz")
+        b = Trajectory.load(tmp_path / "b.npz")
+        assert np.array_equal(a.positions, b.positions)
+
+
+class TestAnalysisKernels:
+    def _write_trajs(self, tmp_path, n=3, frames=40, seed=0):
+        rng = np.random.default_rng(seed)
+        for i in range(n):
+            positions = rng.normal(size=(frames, 2))
+            trajectory = Trajectory(
+                positions=positions,
+                energies=np.zeros(frames),
+                temperature=1.0,
+            )
+            trajectory.save(tmp_path / f"traj_{i:03d}.npz")
+
+    def test_coco_emits_requested_points(self, tmp_path):
+        self._write_trajs(tmp_path)
+        out = run_kernel("analysis.coco", tmp_path,
+                         {"pattern": "traj_*.npz", "outfile": "coco.npz",
+                          "npoints": "4"})
+        assert out["n_new_points"] == 4
+        with np.load(tmp_path / "coco.npz") as data:
+            assert data["new_points"].shape == (4, 2)
+
+    def test_coco_requires_trajectories(self, tmp_path):
+        with pytest.raises(KernelError, match="no trajectory files"):
+            run_kernel("analysis.coco", tmp_path,
+                       {"pattern": "traj_*.npz", "outfile": "c.npz"})
+
+    def test_lsdmap_eigenvalues(self, tmp_path):
+        self._write_trajs(tmp_path)
+        out = run_kernel("analysis.lsdmap", tmp_path,
+                         {"pattern": "traj_*.npz", "outfile": "lsd.npz",
+                          "nev": "3"})
+        eigenvalues = np.array(out["eigenvalues"])
+        assert eigenvalues[0] == pytest.approx(1.0, abs=1e-6)
+        assert np.all(eigenvalues <= 1.0 + 1e-9)
+
+    def test_lsdmap_subsamples_large_sets(self, tmp_path):
+        self._write_trajs(tmp_path, n=2, frames=200)
+        out = run_kernel("analysis.lsdmap", tmp_path,
+                         {"pattern": "traj_*.npz", "outfile": "lsd.npz",
+                          "max-samples": "50"})
+        assert out["n_samples"] == 50
+
+    def test_analysis_durations_grow_with_frames(self):
+        for name in ("analysis.coco", "analysis.lsdmap"):
+            small = model_duration(name, {"nframes": "100"})
+            large = model_duration(name, {"nframes": "100000"})
+            assert large > small
+            # Serial: cores do not help.
+            assert model_duration(name, {"nframes": "1000"}, cores=64) == (
+                model_duration(name, {"nframes": "1000"}, cores=1)
+            )
+
+
+class TestExchangeKernel:
+    def _write_replicas(self, tmp_path, n=4, seed=0):
+        rng = np.random.default_rng(seed)
+        for i in range(n):
+            positions = rng.normal(size=(5, 2))
+            trajectory = Trajectory(
+                positions=positions,
+                energies=rng.normal(size=5),
+                temperature=1.0 + 0.2 * i,
+            )
+            trajectory.save(tmp_path / f"replica_{i:03d}.npz")
+
+    def test_global_exchange(self, tmp_path):
+        self._write_replicas(tmp_path)
+        out = run_kernel("exchange.temperature", tmp_path,
+                         {"mode": "global", "pattern": "replica_*.npz",
+                          "tmin": "1.0", "tmax": "2.0", "seed": "5",
+                          "outfile": "ex.npz"})
+        assert out["attempted"] == 2  # phase 0 over 4 replicas
+        with np.load(tmp_path / "ex.npz") as data:
+            permutation = data["permutation"]
+            assert sorted(permutation.tolist()) == [0, 1, 2, 3]
+
+    def test_global_exchange_needs_two(self, tmp_path):
+        self._write_replicas(tmp_path, n=1)
+        with pytest.raises(KernelError, match=">= 2"):
+            run_kernel("exchange.temperature", tmp_path,
+                       {"mode": "global", "pattern": "replica_*.npz"})
+
+    def test_phase_one_pairs_odd_neighbours(self, tmp_path):
+        self._write_replicas(tmp_path, n=4)
+        out = run_kernel("exchange.temperature", tmp_path,
+                         {"mode": "global", "pattern": "replica_*.npz",
+                          "phase": "1", "seed": "5", "outfile": "ex.npz"})
+        assert out["attempted"] == 1  # only the (1,2) middle pair
+
+    def test_pair_exchange(self, tmp_path):
+        self._write_replicas(tmp_path, n=2)
+        out = run_kernel("exchange.temperature", tmp_path,
+                         {"mode": "pair", "file-a": "replica_000.npz",
+                          "file-b": "replica_001.npz", "seed": "1",
+                          "outfile": "ex.npz"})
+        assert isinstance(out["swapped"], bool)
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        self._write_replicas(tmp_path, n=2)
+        with pytest.raises(KernelError, match="unknown exchange mode"):
+            run_kernel("exchange.temperature", tmp_path, {"mode": "ring"})
+
+    def test_duration_scales_with_replicas(self):
+        small = model_duration("exchange.temperature", {"nreplicas": "20"})
+        large = model_duration("exchange.temperature", {"nreplicas": "2560"})
+        assert large > small
+        pair = model_duration("exchange.temperature", {"mode": "pair"})
+        assert pair <= small

@@ -1,0 +1,168 @@
+"""Tests for CoCo and LSDMap analyses, including scientific behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.md.analysis.coco import coco
+from repro.md.analysis.lsdmap import lsdmap
+from repro.md.engine import MDEngine
+from repro.md.system import alanine_dipeptide_surface
+
+
+class TestCoCo:
+    def cluster(self, center, n=50, seed=0, scale=0.1):
+        rng = np.random.default_rng(seed)
+        return center + rng.normal(scale=scale, size=(n, 2))
+
+    def test_components_are_orthonormal(self):
+        samples = self.cluster([0, 0], n=200)
+        result = coco(samples, n_points=2)
+        gram = result.components @ result.components.T
+        assert np.allclose(gram, np.eye(len(result.components)), atol=1e-8)
+
+    def test_explained_variance_descending(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=(100, 2)) * np.array([3.0, 0.5])
+        result = coco(samples)
+        assert result.explained_variance[0] >= result.explained_variance[-1]
+
+    def test_new_points_avoid_sampled_region(self):
+        samples = self.cluster([0, 0], n=300, scale=0.2)
+        result = coco(samples, n_points=3, grid_bins=8)
+        # New points are frontier points: farther from the sample mean than
+        # the typical sample.
+        typical = np.linalg.norm(samples - samples.mean(axis=0), axis=1).mean()
+        for point in result.new_points:
+            assert np.linalg.norm(point - samples.mean(axis=0)) > typical
+
+    def test_requested_point_count_honoured(self):
+        samples = self.cluster([0, 0])
+        for n_points in (1, 5, 17):
+            result = coco(samples, n_points=n_points)
+            assert result.new_points.shape == (n_points, 2)
+
+    def test_occupancy_fraction(self):
+        # Two far-apart tight clusters: the grid spans the gap, and most of
+        # it is empty space between the clusters.
+        samples = np.vstack(
+            [self.cluster([0, 0], scale=0.05), self.cluster([10, 10], scale=0.05)]
+        )
+        sparse = coco(samples, grid_bins=10)
+        assert 0.0 < sparse.occupancy <= 0.2
+        # One diffuse cluster filling its own bounding box is much denser.
+        dense = coco(self.cluster([0, 0], n=400, scale=1.0), grid_bins=4)
+        assert dense.occupancy > sparse.occupancy
+
+    def test_saturated_grid_falls_back_to_least_visited(self):
+        rng = np.random.default_rng(1)
+        samples = rng.uniform(-1, 1, size=(4000, 2))
+        result = coco(samples, n_points=2, grid_bins=3)
+        assert result.occupancy == 1.0
+        assert result.new_points.shape == (2, 2)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            coco(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            coco(np.zeros(5))
+        samples = self.cluster([0, 0])
+        with pytest.raises(ValueError):
+            coco(samples, n_points=0)
+        with pytest.raises(ValueError):
+            coco(samples, grid_bins=1)
+
+    def test_coco_discovers_unsampled_basin(self):
+        """The Fig. 7/8 science: iterating MD + CoCo finds the second well."""
+        system = alanine_dipeptide_surface(barrier=6.0)
+        engine = MDEngine(system)
+        # Iteration 1: cold simulations stuck in the left basin.
+        trajectories = [
+            engine.run(400, temperature=0.5, stride=10, seed=i) for i in range(4)
+        ]
+        pooled = np.vstack([t.positions for t in trajectories])
+        assert pooled[:, 0].max() < 0.5  # nothing crossed yet
+        result = coco(pooled, n_points=4, grid_bins=10)
+        # CoCo proposes frontier starts; new rounds launched from them reach
+        # farther right than anything sampled so far.
+        assert result.new_points[:, 0].max() > pooled[:, 0].max()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_property_new_points_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(size=(60, 2))
+        result = coco(samples, n_points=3)
+        assert np.isfinite(result.new_points).all()
+
+
+class TestLSDMap:
+    def two_clusters(self, n=40, gap=6.0, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(scale=0.3, size=(n, 2))
+        b = rng.normal(scale=0.3, size=(n, 2)) + np.array([gap, 0.0])
+        return np.vstack([a, b])
+
+    def test_leading_eigenvalue_is_one_with_constant_vector(self):
+        samples = self.two_clusters()
+        result = lsdmap(samples)
+        assert result.eigenvalues[0] == pytest.approx(1.0, abs=1e-8)
+        first = result.eigenvectors[:, 0]
+        assert np.allclose(first, first[0], atol=1e-6)
+
+    def test_eigenvalues_descending_in_unit_interval(self):
+        result = lsdmap(self.two_clusters())
+        eigenvalues = result.eigenvalues
+        assert np.all(np.diff(eigenvalues) <= 1e-9)
+        assert np.all(eigenvalues <= 1.0 + 1e-9)
+        assert np.all(eigenvalues >= -1.0 - 1e-9)
+
+    def test_dc1_separates_clusters(self):
+        n = 40
+        result = lsdmap(self.two_clusters(n=n))
+        dc1 = result.dc1
+        # The first non-trivial coordinate splits the two clusters by sign.
+        assert (dc1[:n] > 0).all() != (dc1[n:] > 0).all()
+        assert np.sign(np.median(dc1[:n])) != np.sign(np.median(dc1[n:]))
+
+    def test_spectral_gap_reflects_two_states(self):
+        # A cluster-scale bandwidth (not the median, which is dominated by
+        # the inter-cluster gap) resolves the two-state structure: lambda_2
+        # near 1 (slow inter-cluster switch), lambda_3 well below.
+        result = lsdmap(self.two_clusters(gap=8.0), n_evecs=4, epsilon=0.5)
+        assert result.eigenvalues[1] > 0.9
+        assert result.eigenvalues[2] < result.eigenvalues[1] - 0.05
+
+    def test_explicit_epsilon(self):
+        samples = self.two_clusters()
+        result = lsdmap(samples, epsilon=1.0)
+        assert result.epsilon.tolist() == [1.0]
+        with pytest.raises(ValueError):
+            lsdmap(samples, epsilon=0.0)
+
+    def test_local_scaling_mode(self):
+        samples = self.two_clusters()
+        result = lsdmap(samples, local_scaling=True, k_neighbors=5)
+        assert len(result.epsilon) == len(samples)
+        assert result.eigenvalues[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            lsdmap(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            lsdmap(np.zeros(10))
+
+    def test_n_evecs_capped_at_n(self):
+        samples = self.two_clusters(n=3)
+        result = lsdmap(samples, n_evecs=100)
+        assert result.eigenvectors.shape[1] == 6
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_property_markov_spectrum(self, seed):
+        """For any sample cloud: top eigenvalue 1, spectrum within [-1, 1]."""
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(size=(25, 2))
+        result = lsdmap(samples, n_evecs=5)
+        assert result.eigenvalues[0] == pytest.approx(1.0, abs=1e-6)
+        assert np.all(np.abs(result.eigenvalues) <= 1.0 + 1e-9)

@@ -1,0 +1,181 @@
+"""Tests for the Langevin integrator, engine, trajectories and systems."""
+
+import numpy as np
+import pytest
+
+from repro.md.engine import MDEngine
+from repro.md.integrators import LangevinIntegrator
+from repro.md.potentials import DoubleWell2D, Harmonic
+from repro.md.system import MDSystem, alanine_dipeptide_surface, mueller_brown_system
+from repro.md.trajectory import Trajectory
+
+
+class TestLangevinIntegrator:
+    def test_parameter_validation(self):
+        potential = Harmonic()
+        with pytest.raises(ValueError):
+            LangevinIntegrator(potential, dt=0.0)
+        with pytest.raises(ValueError):
+            LangevinIntegrator(potential, friction=-1.0)
+        with pytest.raises(ValueError):
+            LangevinIntegrator(potential, temperature=-1.0)
+
+    def test_zero_temperature_relaxes_to_minimum(self):
+        integrator = LangevinIntegrator(
+            Harmonic(k=1.0), dt=0.05, friction=2.0, temperature=0.0,
+            rng=np.random.default_rng(0),
+        )
+        xs, _ = integrator.run(np.array([2.0, -2.0]), nsteps=2000,
+                               v0=np.zeros(2))
+        assert np.linalg.norm(xs[-1]) < 1e-3
+
+    def test_harmonic_equilibrium_variance_matches_temperature(self):
+        """Boltzmann statistics: Var(x) = T/k for a harmonic well."""
+        k, temperature = 2.0, 1.5
+        integrator = LangevinIntegrator(
+            Harmonic(k=k), dt=0.05, friction=1.0, temperature=temperature,
+            rng=np.random.default_rng(42),
+        )
+        xs, _ = integrator.run(np.zeros(2), nsteps=60_000, stride=5)
+        burn = len(xs) // 5
+        variance = xs[burn:].var(axis=0).mean()
+        assert variance == pytest.approx(temperature / k, rel=0.1)
+
+    def test_velocity_variance_matches_temperature(self):
+        temperature = 0.8
+        integrator = LangevinIntegrator(
+            Harmonic(k=1.0), dt=0.05, friction=1.0, temperature=temperature,
+            rng=np.random.default_rng(7),
+        )
+        _, vs = integrator.run(np.zeros(2), nsteps=60_000, stride=5)
+        burn = len(vs) // 5
+        assert vs[burn:].var(axis=0).mean() == pytest.approx(temperature, rel=0.1)
+
+    def test_run_shapes_and_stride(self):
+        integrator = LangevinIntegrator(Harmonic(), rng=np.random.default_rng(0))
+        xs, vs = integrator.run(np.zeros(2), nsteps=100, stride=10)
+        assert xs.shape == vs.shape == (10, 2)
+
+    def test_run_argument_validation(self):
+        integrator = LangevinIntegrator(Harmonic())
+        with pytest.raises(ValueError):
+            integrator.run(np.zeros(2), nsteps=0)
+        with pytest.raises(ValueError):
+            integrator.run(np.zeros(2), nsteps=10, stride=0)
+
+    def test_step_returns_new_arrays(self):
+        integrator = LangevinIntegrator(Harmonic(), rng=np.random.default_rng(0))
+        x0, v0 = np.ones(2), np.zeros(2)
+        x1, v1 = integrator.step(x0, v0)
+        assert x1 is not x0 and v1 is not v0
+        assert np.all(x0 == 1.0)  # inputs untouched
+
+
+class TestMDEngine:
+    def test_run_returns_trajectory_with_energies(self):
+        engine = MDEngine(alanine_dipeptide_surface(), seed=1)
+        trajectory = engine.run(nsteps=200, stride=10)
+        assert trajectory.nframes == 20
+        expected = engine.system.potential.energy(trajectory.positions)
+        assert np.allclose(trajectory.energies, expected)
+
+    def test_seed_reproducibility(self):
+        engine = MDEngine(alanine_dipeptide_surface())
+        a = engine.run(nsteps=100, seed=5)
+        b = engine.run(nsteps=100, seed=5)
+        c = engine.run(nsteps=100, seed=6)
+        assert np.array_equal(a.positions, b.positions)
+        assert not np.array_equal(a.positions, c.positions)
+
+    def test_degenerate_stride_keeps_one_frame(self):
+        engine = MDEngine(alanine_dipeptide_surface(), seed=0)
+        trajectory = engine.run(nsteps=5, stride=100)
+        assert trajectory.nframes == 1
+
+    def test_custom_start_point(self):
+        engine = MDEngine(alanine_dipeptide_surface(), seed=0)
+        trajectory = engine.run(nsteps=10, stride=1, x0=np.array([1.0, 0.0]),
+                                temperature=1e-6)
+        assert np.linalg.norm(trajectory.positions[0] - [1.0, 0.0]) < 0.2
+
+    def test_modelled_seconds(self):
+        t1 = MDEngine.modelled_seconds(3000, 2881, cores=1)
+        assert t1 == pytest.approx(3000 * 2881 / 4e4)
+        assert MDEngine.modelled_seconds(3000, 2881, cores=4) == pytest.approx(t1 / 4)
+        with pytest.raises(ValueError):
+            MDEngine.modelled_seconds(-1, 10)
+        with pytest.raises(ValueError):
+            MDEngine.modelled_seconds(10, 10, cores=0)
+
+
+class TestSystems:
+    def test_alanine_surface_metadata(self):
+        system = alanine_dipeptide_surface()
+        assert system.natoms == 2881  # the paper's atom count
+        assert isinstance(system.potential, DoubleWell2D)
+        assert system.x0.shape == (2,)
+
+    def test_mueller_brown_system(self):
+        system = mueller_brown_system()
+        assert system.potential.energy(system.x0) < -100
+
+    def test_x0_shape_validated(self):
+        with pytest.raises(ValueError, match="x0 shape"):
+            MDSystem(name="bad", potential=Harmonic(), x0=np.zeros(3))
+
+
+class TestTrajectory:
+    def make(self, frames=10, seed=0):
+        rng = np.random.default_rng(seed)
+        positions = rng.normal(size=(frames, 2))
+        return Trajectory(
+            positions=positions,
+            energies=rng.normal(size=frames),
+            temperature=1.2,
+            dt=0.01,
+            stride=5,
+            meta={"engine": "test", "replica": "3"},
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        trajectory = self.make()
+        path = trajectory.save(tmp_path / "t.npz")
+        loaded = Trajectory.load(path)
+        assert np.array_equal(loaded.positions, trajectory.positions)
+        assert np.array_equal(loaded.energies, trajectory.energies)
+        assert loaded.temperature == trajectory.temperature
+        assert loaded.stride == trajectory.stride
+        assert loaded.meta == {"engine": "test", "replica": "3"}
+
+    def test_save_appends_npz_suffix(self, tmp_path):
+        trajectory = self.make()
+        path = trajectory.save(tmp_path / "bare")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory(positions=np.zeros(5), energies=np.zeros(5),
+                       temperature=1.0)
+        with pytest.raises(ValueError):
+            Trajectory(positions=np.zeros((5, 2)), energies=np.zeros(4),
+                       temperature=1.0)
+
+    def test_final_accessors(self):
+        trajectory = self.make()
+        assert np.array_equal(trajectory.final_position,
+                              trajectory.positions[-1])
+        assert trajectory.final_energy == trajectory.energies[-1]
+
+    def test_extend_concatenates(self):
+        a, b = self.make(frames=4, seed=0), self.make(frames=6, seed=1)
+        joined = a.extend(b)
+        assert joined.nframes == 10
+        assert np.array_equal(joined.positions[:4], a.positions)
+
+    def test_extend_rejects_dim_mismatch(self):
+        a = self.make()
+        b = Trajectory(positions=np.zeros((3, 3)), energies=np.zeros(3),
+                       temperature=1.0)
+        with pytest.raises(ValueError):
+            a.extend(b)

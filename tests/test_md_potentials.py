@@ -1,0 +1,114 @@
+"""Tests for potentials: analytic forces vs. finite differences, minima."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.md.potentials import DoubleWell2D, Harmonic, MuellerBrown
+
+POTENTIALS = {
+    "harmonic": Harmonic(k=2.0),
+    "doublewell": DoubleWell2D(barrier=5.0),
+    "mueller": MuellerBrown(),
+}
+
+coords = st.floats(min_value=-1.5, max_value=1.5, allow_nan=False)
+
+
+def finite_difference_force(potential, x, h=1e-6):
+    f = np.zeros_like(x)
+    for i in range(len(x)):
+        xp, xm = x.copy(), x.copy()
+        xp[i] += h
+        xm[i] -= h
+        f[i] = -(potential.energy(xp) - potential.energy(xm)) / (2 * h)
+    return f
+
+
+@pytest.mark.parametrize("name", list(POTENTIALS))
+@settings(max_examples=40, deadline=None)
+@given(x=coords, y=coords)
+def test_property_force_is_negative_gradient(name, x, y):
+    potential = POTENTIALS[name]
+    point = np.array([x, y])
+    analytic = potential.force(point)
+    numeric = finite_difference_force(potential, point)
+    scale = max(1.0, float(np.abs(numeric).max()))
+    assert np.allclose(analytic, numeric, atol=1e-3 * scale)
+
+
+@pytest.mark.parametrize("name", list(POTENTIALS))
+def test_batched_energy_matches_single(name):
+    potential = POTENTIALS[name]
+    points = np.array([[0.1, -0.2], [0.5, 0.5], [-1.0, 0.3]])
+    batched = potential.energy(points)
+    singles = [potential.energy(p) for p in points]
+    assert np.allclose(batched, singles)
+
+
+@pytest.mark.parametrize("name", list(POTENTIALS))
+def test_batched_force_matches_single(name):
+    potential = POTENTIALS[name]
+    points = np.array([[0.1, -0.2], [0.5, 0.5]])
+    batched = potential.force(points)
+    for i, p in enumerate(points):
+        assert np.allclose(batched[i], potential.force(p))
+
+
+class TestHarmonic:
+    def test_minimum_at_origin(self):
+        potential = Harmonic(k=3.0)
+        assert potential.energy(np.zeros(2)) == 0.0
+        assert np.allclose(potential.force(np.zeros(2)), 0.0)
+
+    def test_energy_quadratic(self):
+        potential = Harmonic(k=2.0)
+        assert potential.energy(np.array([1.0, 0.0])) == pytest.approx(1.0)
+        assert potential.energy(np.array([2.0, 0.0])) == pytest.approx(4.0)
+
+    def test_offset_center(self):
+        potential = Harmonic(k=1.0, x0=np.array([1.0, 1.0]))
+        assert potential.energy(np.array([1.0, 1.0])) == 0.0
+
+
+class TestDoubleWell:
+    def test_two_minima_at_pm_a(self):
+        potential = DoubleWell2D(barrier=5.0, a=1.0)
+        for minimum in potential.minima:
+            assert potential.energy(minimum) == pytest.approx(0.0)
+            assert np.allclose(potential.force(minimum), 0.0, atol=1e-12)
+
+    def test_barrier_height(self):
+        potential = DoubleWell2D(barrier=5.0, a=1.0)
+        assert potential.energy(np.zeros(2)) == pytest.approx(5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DoubleWell2D(barrier=0.0)
+        with pytest.raises(ValueError):
+            DoubleWell2D(barrier=1.0, a=-1.0)
+
+
+class TestMuellerBrown:
+    def test_minima_are_local_minima(self):
+        potential = MuellerBrown()
+        for minimum in potential.minima:
+            e0 = potential.energy(minimum)
+            rng = np.random.default_rng(0)
+            for _ in range(20):
+                nearby = minimum + rng.normal(scale=0.02, size=2)
+                assert potential.energy(nearby) >= e0 - 0.6  # small tolerance
+
+    def test_deep_minimum_energy_range(self):
+        potential = MuellerBrown()
+        e = potential.energy(potential.minima[0])
+        assert -150.0 < e < -140.0  # canonical value ~ -146.7
+
+    def test_forces_point_downhill(self):
+        potential = MuellerBrown()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            x = rng.uniform([-1.5, -0.5], [1.0, 2.0])
+            f = potential.force(x)
+            step = x + 1e-5 * f / max(np.linalg.norm(f), 1e-12)
+            assert potential.energy(step) <= potential.energy(x) + 1e-9

@@ -1,0 +1,169 @@
+"""Tests for replica-exchange machinery: Metropolis, ladders, swap schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.md.remd import (
+    acceptance_probability,
+    attempt_neighbor_swaps,
+    attempt_swap,
+    geometric_ladder,
+)
+
+temps = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+energies = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+class TestGeometricLadder:
+    def test_endpoints(self):
+        ladder = geometric_ladder(1.0, 8.0, 4)
+        assert ladder[0] == pytest.approx(1.0)
+        assert ladder[-1] == pytest.approx(8.0)
+
+    def test_constant_ratio(self):
+        ladder = geometric_ladder(1.0, 16.0, 5)
+        ratios = ladder[1:] / ladder[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_single_temperature(self):
+        assert geometric_ladder(2.0, 5.0, 1).tolist() == [2.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_ladder(1.0, 2.0, 0)
+        with pytest.raises(ValueError):
+            geometric_ladder(0.0, 2.0, 3)
+        with pytest.raises(ValueError):
+            geometric_ladder(3.0, 2.0, 3)
+
+
+class TestAcceptance:
+    def test_favourable_swap_always_accepted(self):
+        # Hot replica has LOWER energy than cold -> delta >= 0 -> accept.
+        assert acceptance_probability(10.0, 5.0, 1.0, 2.0) == 1.0
+
+    def test_unfavourable_swap_probability(self):
+        # beta_i - beta_j = 1 - 0.5 = 0.5; E_i - E_j = -2 -> exp(-1).
+        p = acceptance_probability(0.0, 2.0, 1.0, 2.0)
+        assert p == pytest.approx(np.exp(-1.0))
+
+    def test_equal_energies_always_accepted(self):
+        assert acceptance_probability(3.0, 3.0, 1.0, 2.0) == 1.0
+
+    def test_temperatures_must_be_positive(self):
+        with pytest.raises(ValueError):
+            acceptance_probability(1.0, 2.0, 0.0, 1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(e_i=energies, e_j=energies, t_i=temps, t_j=temps)
+    def test_property_probability_in_unit_interval(self, e_i, e_j, t_i, t_j):
+        p = acceptance_probability(e_i, e_j, t_i, t_j)
+        assert 0.0 <= p <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(e_i=energies, e_j=energies, t_i=temps, t_j=temps)
+    def test_property_detailed_balance_symmetry(self, e_i, e_j, t_i, t_j):
+        """p(i<->j) is symmetric under swapping the pair's labels."""
+        assert acceptance_probability(e_i, e_j, t_i, t_j) == pytest.approx(
+            acceptance_probability(e_j, e_i, t_j, t_i)
+        )
+
+    def test_empirical_rate_matches_probability(self):
+        rng = np.random.default_rng(0)
+        p_expected = acceptance_probability(0.0, 1.0, 1.0, 2.0)
+        trials = 20_000
+        accepted = sum(
+            attempt_swap(0.0, 1.0, 1.0, 2.0, rng) for _ in range(trials)
+        )
+        assert accepted / trials == pytest.approx(p_expected, abs=0.02)
+
+
+class TestNeighborSwaps:
+    def test_phase0_pairs_even_odd(self):
+        rng = np.random.default_rng(0)
+        temperatures = geometric_ladder(1.0, 4.0, 6)
+        result = attempt_neighbor_swaps(np.zeros(6), temperatures, rng, phase=0)
+        assert result.attempted == 3
+
+    def test_phase1_pairs_odd_even(self):
+        rng = np.random.default_rng(0)
+        temperatures = geometric_ladder(1.0, 4.0, 6)
+        result = attempt_neighbor_swaps(np.zeros(6), temperatures, rng, phase=1)
+        assert result.attempted == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        energies_list=st.lists(energies, min_size=2, max_size=16),
+        phase=st.integers(min_value=0, max_value=1),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_permutation_is_valid(self, energies_list, phase, seed):
+        """The exchange outcome is always a permutation (nothing lost)."""
+        n = len(energies_list)
+        temperatures = geometric_ladder(1.0, 4.0, n)
+        rng = np.random.default_rng(seed)
+        result = attempt_neighbor_swaps(
+            np.array(energies_list), temperatures, rng, phase=phase
+        )
+        assert sorted(result.permutation.tolist()) == list(range(n))
+        assert 0 <= result.accepted <= result.attempted
+
+    def test_only_neighbors_swap(self):
+        rng = np.random.default_rng(3)
+        temperatures = geometric_ladder(1.0, 4.0, 8)
+        result = attempt_neighbor_swaps(
+            np.linspace(-5, 5, 8), temperatures, rng, phase=0
+        )
+        for k, target in enumerate(result.permutation):
+            assert abs(int(target) - k) <= 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            attempt_neighbor_swaps(
+                np.zeros(3), np.zeros(4), np.random.default_rng(0)
+            )
+
+    def test_acceptance_ratio_zero_when_none_attempted(self):
+        rng = np.random.default_rng(0)
+        result = attempt_neighbor_swaps(np.zeros(1), np.ones(1), rng, phase=0)
+        assert result.attempted == 0
+        assert result.acceptance_ratio == 0.0
+
+
+class TestREMDSampling:
+    def test_remd_crosses_barrier_faster_than_plain_md(self):
+        """The scientific point of the paper's Fig. 5/6 workload: replica
+        exchange lets a cold replica discover the second basin far sooner
+        than unassisted cold dynamics."""
+        from repro.md.engine import MDEngine
+        from repro.md.system import alanine_dipeptide_surface
+
+        system = alanine_dipeptide_surface(barrier=5.0)
+        nsteps, nreplicas, rounds = 400, 8, 20
+        ladder = geometric_ladder(0.5, 5.0, nreplicas)
+        rng = np.random.default_rng(1)
+        engine = MDEngine(system)
+
+        # REMD: replicas carry configurations, swap temperatures.
+        positions = [system.x0.copy() for _ in range(nreplicas)]
+        cold_visits_right = False
+        for round_index in range(rounds):
+            round_energies = []
+            for i in range(nreplicas):
+                trajectory = engine.run(
+                    nsteps,
+                    temperature=float(ladder[i]),
+                    x0=positions[i],
+                    stride=nsteps,
+                    seed=100_000 + 1000 * round_index + i,
+                )
+                positions[i] = trajectory.final_position
+                round_energies.append(trajectory.final_energy)
+            if positions[0][0] > 0.5:
+                cold_visits_right = True
+            result = attempt_neighbor_swaps(
+                np.array(round_energies), ladder, rng, phase=round_index % 2
+            )
+            positions = [positions[j] for j in result.permutation]
+        assert cold_visits_right, "REMD failed to cross the barrier"

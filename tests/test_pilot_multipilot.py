@@ -1,0 +1,90 @@
+"""Tests for multi-pilot execution (round-robin unit routing)."""
+
+import json
+
+import pytest
+
+from repro.pilot import (
+    ComputePilotDescription,
+    ComputeUnitDescription,
+    PilotManager,
+    Session,
+    UnitManager,
+    UnitState,
+)
+
+
+def make_two_pilots(cores_a=8, cores_b=8):
+    session = Session(mode="sim", platform="xsede.comet")
+    pmgr = PilotManager(session)
+    pilots = pmgr.submit_pilots(
+        [
+            ComputePilotDescription(resource="xsede.comet", cores=cores_a,
+                                    runtime=600, mode="sim"),
+            ComputePilotDescription(resource="xsede.comet", cores=cores_b,
+                                    runtime=600, mode="sim"),
+        ]
+    )
+    umgr = UnitManager(session)
+    umgr.add_pilots(pilots)
+    return session, pmgr, umgr, pilots
+
+
+def test_units_round_robin_across_pilots():
+    session, pmgr, umgr, pilots = make_two_pilots()
+    units = umgr.submit_units(
+        [ComputeUnitDescription(executable="t", modelled_duration=10.0)
+         for _ in range(10)]
+    )
+    umgr.wait_units()
+    assert all(u.state is UnitState.DONE for u in units)
+    routed = {pilot.uid: 0 for pilot in pilots}
+    for unit in units:
+        routed[unit.pilot_uid] += 1
+    assert routed[pilots[0].uid] == routed[pilots[1].uid] == 5
+    pmgr.cancel_pilots()
+    session.close()
+
+
+def test_two_pilots_double_throughput():
+    session, pmgr, umgr, pilots = make_two_pilots(cores_a=4, cores_b=4)
+    units = umgr.submit_units(
+        [ComputeUnitDescription(executable="t", modelled_duration=100.0)
+         for _ in range(16)]
+    )
+    umgr.wait_units()
+    # 16 x 100 s on 8 cores total -> 2 waves ~ 200 s (+ bootstrap).
+    assert session.now() < 260.0
+    pmgr.cancel_pilots()
+    session.close()
+
+
+def test_wide_units_skip_small_pilots():
+    session, pmgr, umgr, pilots = make_two_pilots(cores_a=2, cores_b=16)
+    units = umgr.submit_units(
+        [ComputeUnitDescription(executable="t", cores=8, mpi=True,
+                                modelled_duration=10.0)
+         for _ in range(4)]
+    )
+    umgr.wait_units()
+    assert all(u.pilot_uid == pilots[1].uid for u in units)
+    pmgr.cancel_pilots()
+    session.close()
+
+
+def test_profile_export_round_trips(tmp_path):
+    session, pmgr, umgr, pilots = make_two_pilots()
+    umgr.submit_units(
+        [ComputeUnitDescription(executable="t", modelled_duration=1.0)]
+    )
+    umgr.wait_units()
+    pmgr.cancel_pilots()
+    out = tmp_path / "trace.jsonl"
+    count = session.prof.write_jsonl(out)
+    lines = out.read_text().splitlines()
+    assert len(lines) == count > 0
+    records = [json.loads(line) for line in lines]
+    assert all({"time", "name", "uid"} <= set(r) for r in records)
+    times = [r["time"] for r in records]
+    assert times == sorted(times)
+    session.close()

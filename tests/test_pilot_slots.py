@@ -1,0 +1,133 @@
+"""Tests for agent core-slot scheduling, incl. the no-double-booking property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SchedulingError
+from repro.pilot.agent.slots import (
+    ContiguousSlotScheduler,
+    ScatteredSlotScheduler,
+    make_slot_scheduler,
+)
+
+
+@pytest.mark.parametrize("cls", [ContiguousSlotScheduler, ScatteredSlotScheduler])
+class TestCommonBehaviour:
+    def test_alloc_returns_distinct_slots(self, cls):
+        sched = cls(8)
+        slots = sched.alloc(4)
+        assert len(slots) == len(set(slots)) == 4
+        assert all(0 <= s < 8 for s in slots)
+        assert sched.free_cores == 4
+
+    def test_alloc_all_then_none(self, cls):
+        sched = cls(4)
+        assert sched.alloc(4) is not None
+        assert sched.alloc(1) is None
+
+    def test_dealloc_restores_capacity(self, cls):
+        sched = cls(4)
+        slots = sched.alloc(3)
+        sched.dealloc(slots)
+        assert sched.free_cores == 4
+        assert sched.alloc(4) is not None
+
+    def test_oversized_request_raises(self, cls):
+        sched = cls(4)
+        with pytest.raises(SchedulingError, match="pilot holds"):
+            sched.alloc(5)
+
+    def test_nonpositive_request_raises(self, cls):
+        with pytest.raises(SchedulingError):
+            cls(4).alloc(0)
+
+    def test_double_free_raises(self, cls):
+        sched = cls(4)
+        slots = sched.alloc(2)
+        sched.dealloc(slots)
+        with pytest.raises(SchedulingError, match="freed twice"):
+            sched.dealloc(slots)
+
+    def test_used_cores_accounting(self, cls):
+        sched = cls(8)
+        sched.alloc(3)
+        assert sched.used_cores == 3
+        assert sched.free_cores == 5
+
+
+class TestContiguous:
+    def test_allocations_are_contiguous(self):
+        sched = ContiguousSlotScheduler(8)
+        slots = sched.alloc(4)
+        assert slots == list(range(slots[0], slots[0] + 4))
+
+    def test_fragmentation_can_refuse(self):
+        sched = ContiguousSlotScheduler(8)
+        a = sched.alloc(3)  # 0,1,2
+        b = sched.alloc(3)  # 3,4,5
+        sched.dealloc(a)    # free: 0,1,2,6,7
+        assert sched.free_cores == 5
+        # 4 contiguous cores do not exist although 5 are free.
+        assert sched.alloc(4) is None
+        assert sched.alloc(3) == [0, 1, 2]
+        sched.dealloc(b)
+
+    def test_first_fit_prefers_lowest_block(self):
+        sched = ContiguousSlotScheduler(8)
+        a = sched.alloc(2)
+        sched.alloc(2)
+        sched.dealloc(a)
+        assert sched.alloc(2) == [0, 1]
+
+
+class TestScattered:
+    def test_never_fragments(self):
+        sched = ScatteredSlotScheduler(8)
+        a = sched.alloc(3)
+        sched.alloc(3)
+        sched.dealloc(a)
+        # 5 free (scattered) -> a 4-core request succeeds regardless.
+        assert sched.alloc(4) is not None
+
+    def test_picks_lowest_numbered(self):
+        sched = ScatteredSlotScheduler(8)
+        assert sched.alloc(3) == [0, 1, 2]
+
+
+def test_factory():
+    assert isinstance(make_slot_scheduler("contiguous", 4), ContiguousSlotScheduler)
+    assert isinstance(make_slot_scheduler("scattered", 4), ScatteredSlotScheduler)
+    with pytest.raises(SchedulingError):
+        make_slot_scheduler("random", 4)
+    with pytest.raises(SchedulingError):
+        make_slot_scheduler("scattered", 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=8)),
+        max_size=80,
+    ),
+    kind=st.sampled_from(["contiguous", "scattered"]),
+)
+def test_property_no_double_booking(ops, kind):
+    """Random alloc/dealloc traffic never double-books or leaks slots."""
+    sched = make_slot_scheduler(kind, 8)
+    held: list[list[int]] = []
+    for is_alloc, n in ops:
+        if is_alloc:
+            slots = sched.alloc(n) if n <= 8 else None
+            if slots is not None:
+                held.append(slots)
+        elif held:
+            sched.dealloc(held.pop())
+        # Invariant: the slots held by live allocations are disjoint and
+        # the accounting matches.
+        flat = [s for slots in held for s in slots]
+        assert len(flat) == len(set(flat))
+        assert sched.used_cores == len(flat)
+        assert sched.free_cores == 8 - len(flat)
+    for slots in held:
+        sched.dealloc(slots)
+    assert sched.free_cores == 8

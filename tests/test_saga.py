@@ -1,0 +1,199 @@
+"""Tests for the SAGA-like job API (states, fork adaptor, sim adaptor)."""
+
+import threading
+
+import pytest
+
+from repro.cluster.platforms import get_platform
+from repro.exceptions import BadParameter, IncorrectState, StateTransitionError
+from repro.saga import Job, JobDescription, JobService, JobState
+from repro.saga.adaptors.sim import SimContext
+from repro.saga.states import validate_transition
+
+
+class TestStates:
+    def test_final_states(self):
+        assert JobState.DONE.is_final
+        assert JobState.FAILED.is_final
+        assert JobState.CANCELED.is_final
+        assert not JobState.RUNNING.is_final
+
+    def test_legal_path(self):
+        validate_transition("j", JobState.NEW, JobState.PENDING)
+        validate_transition("j", JobState.PENDING, JobState.RUNNING)
+        validate_transition("j", JobState.RUNNING, JobState.DONE)
+
+    @pytest.mark.parametrize(
+        "current,target",
+        [
+            (JobState.NEW, JobState.RUNNING),
+            (JobState.NEW, JobState.DONE),
+            (JobState.DONE, JobState.RUNNING),
+            (JobState.FAILED, JobState.DONE),
+            (JobState.RUNNING, JobState.PENDING),
+        ],
+    )
+    def test_illegal_edges(self, current, target):
+        with pytest.raises(StateTransitionError):
+            validate_transition("j", current, target)
+
+
+class TestDescription:
+    def test_validation_catches_bad_values(self):
+        with pytest.raises(BadParameter):
+            JobDescription(executable="x", total_cpu_count=0).validate()
+        with pytest.raises(BadParameter):
+            JobDescription(executable="x", wall_time_limit=0).validate()
+        with pytest.raises(BadParameter):
+            JobDescription().validate()  # neither executable nor payload
+
+    def test_payload_only_is_fine(self):
+        JobDescription(payload=lambda job: None).validate()
+
+
+class TestForkAdaptor:
+    def test_job_really_executes(self):
+        service = JobService("fork://localhost")
+        job = service.create_job(JobDescription(payload=lambda j: 6 * 7))
+        job.run()
+        assert job.wait(timeout=10) is JobState.DONE
+        assert job.result == 42
+        assert job.exit_code == 0
+
+    def test_failure_is_captured(self):
+        service = JobService("fork://localhost")
+
+        def boom(job):
+            raise RuntimeError("kaput")
+
+        job = service.create_job(JobDescription(payload=boom))
+        job.run()
+        assert job.wait(timeout=10) is JobState.FAILED
+        assert isinstance(job.exception, RuntimeError)
+        assert job.exit_code == 1
+
+    def test_double_run_rejected(self):
+        service = JobService("fork://localhost")
+        job = service.create_job(JobDescription(payload=lambda j: None))
+        job.run()
+        job.wait(timeout=10)
+        with pytest.raises(IncorrectState):
+            job.run()
+
+    def test_state_callbacks_fire_in_order(self):
+        service = JobService("fork://localhost")
+        states = []
+        job = service.create_job(JobDescription(payload=lambda j: None))
+        job.add_callback(lambda j, s: states.append(s))
+        job.run()
+        job.wait(timeout=10)
+        assert states == [JobState.PENDING, JobState.RUNNING, JobState.DONE]
+
+    def test_cancel_before_run(self):
+        service = JobService("fork://localhost")
+        job = service.create_job(JobDescription(payload=lambda j: None))
+        job.cancel()
+        assert job.state is JobState.CANCELED
+
+    def test_cancel_cooperates_with_running_payload(self):
+        service = JobService("fork://localhost")
+        release = threading.Event()
+
+        def payload(job):
+            release.wait(5)
+
+        job = service.create_job(JobDescription(payload=payload))
+        job.run()
+        job.cancel()
+        release.set()
+        assert job.wait(timeout=10) is JobState.CANCELED
+
+    def test_timestamps_recorded(self):
+        service = JobService("fork://localhost")
+        job = service.create_job(JobDescription(payload=lambda j: None))
+        job.run()
+        job.wait(timeout=10)
+        assert set(job.timestamps) == {"PENDING", "RUNNING", "DONE"}
+        assert job.timestamps["DONE"] >= job.timestamps["PENDING"]
+
+    def test_close_cancels_open_jobs(self):
+        service = JobService("fork://localhost")
+        job = service.create_job(JobDescription(payload=lambda j: None))
+        service.close()
+        assert job.state is JobState.CANCELED
+
+
+class TestSimAdaptor:
+    def make_context(self, platform="xsede.comet"):
+        return SimContext(platform=get_platform(platform))
+
+    def test_requires_context(self):
+        with pytest.raises(BadParameter):
+            JobService("sim://xsede.comet")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(BadParameter):
+            JobService("ssh://somewhere")
+
+    def test_job_runs_in_virtual_time(self):
+        context = self.make_context()
+        service = JobService("sim://xsede.comet", context=context)
+        job = service.create_job(
+            JobDescription(executable="x", total_cpu_count=48,
+                           wall_time_limit=1000.0, modelled_duration=10.0)
+        )
+        job.run()
+        context.sim.run()
+        assert job.state is JobState.DONE
+        # submit latency (1s) + duration (10s)
+        assert job.timestamps["DONE"] == pytest.approx(11.0)
+
+    def test_walltime_timeout_fails_job(self):
+        context = self.make_context()
+        service = JobService("sim://xsede.comet", context=context)
+        job = service.create_job(
+            JobDescription(executable="x", wall_time_limit=5.0,
+                           modelled_duration=None)
+        )
+        job.run()
+        context.sim.run()
+        assert job.state is JobState.FAILED
+
+    def test_cancel_releases_allocation(self):
+        context = self.make_context()
+        service = JobService("sim://xsede.comet", context=context)
+        job = service.create_job(
+            JobDescription(executable="x", total_cpu_count=24,
+                           wall_time_limit=1000.0)
+        )
+        job.run()
+        context.sim.run(until=2.0)
+        assert job.state is JobState.RUNNING
+        job.cancel()
+        assert job.state is JobState.CANCELED
+        assert context.batch.free_nodes == context.platform.nodes
+
+    def test_payload_runs_at_job_start(self):
+        context = self.make_context()
+        service = JobService("sim://xsede.comet", context=context)
+        started_at = []
+        job = service.create_job(
+            JobDescription(
+                payload=lambda j: started_at.append(context.sim.now),
+                wall_time_limit=100.0,
+                modelled_duration=1.0,
+            )
+        )
+        job.run()
+        context.sim.run()
+        assert started_at == [pytest.approx(1.0)]  # after submit latency
+
+    def test_wait_returns_immediately_under_simulation(self):
+        context = self.make_context()
+        service = JobService("sim://xsede.comet", context=context)
+        job = service.create_job(
+            JobDescription(executable="x", wall_time_limit=100.0,
+                           modelled_duration=1.0)
+        )
+        job.run()
+        assert job.wait() in (JobState.PENDING, JobState.NEW)

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.config."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.config import Config
+
+
+@pytest.fixture
+def cfg():
+    return Config({"agent": {"cores": 16, "scheduler": "backfill"}, "seed": 7})
+
+
+def test_dotted_lookup(cfg):
+    assert cfg["agent.cores"] == 16
+    assert cfg["seed"] == 7
+
+
+def test_nested_lookup_returns_config(cfg):
+    agent = cfg["agent"]
+    assert isinstance(agent, Config)
+    assert agent["scheduler"] == "backfill"
+
+
+def test_missing_key_raises(cfg):
+    with pytest.raises(KeyError):
+        cfg["agent.missing"]
+    with pytest.raises(KeyError):
+        cfg["nope.deep.path"]
+
+
+def test_get_with_default(cfg):
+    assert cfg.get("agent.missing", 3) == 3
+    assert cfg.get("agent.cores") == 16
+
+
+def test_require_present(cfg):
+    assert cfg.require("agent.cores", int) == 16
+
+
+def test_require_missing_raises(cfg):
+    with pytest.raises(ConfigurationError, match="missing"):
+        cfg.require("agent.nope")
+
+
+def test_require_wrong_type_raises(cfg):
+    with pytest.raises(ConfigurationError, match="must be"):
+        cfg.require("agent.scheduler", int)
+
+
+def test_require_rejects_bool_for_numeric():
+    cfg = Config({"flag": True})
+    with pytest.raises(ConfigurationError):
+        cfg.require("flag", int)
+
+
+def test_merged_overrides_deeply(cfg):
+    merged = cfg.merged({"agent": {"cores": 32}})
+    assert merged["agent.cores"] == 32
+    assert merged["agent.scheduler"] == "backfill"  # untouched sibling
+    assert cfg["agent.cores"] == 16  # original untouched
+
+
+def test_merged_with_none_copies(cfg):
+    clone = cfg.merged(None)
+    assert clone.as_dict() == cfg.as_dict()
+
+
+def test_merged_accepts_config_instances(cfg):
+    merged = cfg.merged(Config({"seed": 11}))
+    assert merged["seed"] == 11
+
+
+def test_as_dict_is_deep_copy(cfg):
+    exported = cfg.as_dict()
+    exported["agent"]["cores"] = 999
+    assert cfg["agent.cores"] == 16
+
+
+def test_mapping_protocol(cfg):
+    assert set(iter(cfg)) == {"agent", "seed"}
+    assert len(cfg) == 2

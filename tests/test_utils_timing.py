@@ -1,0 +1,43 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import VirtualClock, WallClock
+
+
+def test_wall_clock_monotonic():
+    clock = WallClock()
+    a = clock.now()
+    b = clock.now()
+    assert b >= a >= 0.0
+
+
+def test_wall_clock_sleep_advances():
+    clock = WallClock()
+    t0 = clock.now()
+    clock.sleep(0.02)
+    assert clock.now() - t0 >= 0.015
+
+
+def test_virtual_clock_starts_at_given_time():
+    assert VirtualClock().now() == 0.0
+    assert VirtualClock(start=5.0).now() == 5.0
+
+
+def test_virtual_clock_advances_forward():
+    clock = VirtualClock()
+    clock.advance_to(3.5)
+    assert clock.now() == 3.5
+    clock.advance_to(3.5)  # equal is fine
+    assert clock.now() == 3.5
+
+
+def test_virtual_clock_rejects_backward():
+    clock = VirtualClock(start=10.0)
+    with pytest.raises(ValueError, match="backward"):
+        clock.advance_to(9.0)
+
+
+def test_virtual_clock_cannot_sleep():
+    with pytest.raises(RuntimeError, match="schedule an event"):
+        VirtualClock().sleep(1.0)
