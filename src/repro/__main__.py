@@ -8,7 +8,7 @@ Commands
                          uses a reduced parameter set for a quick look
 ``ablation NAME``        run one ablation (pilot_vs_batch,
                          scheduler_policy, overhead_scaling,
-                         fault_resilience)
+                         fault_resilience, fault_ablation)
 ``plan``                 ask the execution-strategy layer where to run a
                          workload (``--ntasks --seconds --objective``)
 """
@@ -68,11 +68,15 @@ def cmd_figure(args) -> int:
 
 def cmd_ablation(args) -> int:
     from repro.experiments import ablations
+    from repro.experiments.fault_ablation import fault_ablation
 
+    known = list(ablations.__all__) + ["fault_ablation"]
     runner = getattr(ablations, args.name, None)
+    if args.name == "fault_ablation":
+        runner = fault_ablation
     if runner is None or args.name.startswith("_"):
         print(f"unknown ablation {args.name!r}; pick one of "
-              f"{ablations.__all__}", file=sys.stderr)
+              f"{known}", file=sys.stderr)
         return 2
     result = runner()
     result.print_report()

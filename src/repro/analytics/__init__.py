@@ -1,5 +1,10 @@
 """Analysis of runtime traces into the paper's metrics and tables."""
 
+from repro.analytics.faults import (
+    FaultRecoverySummary,
+    fault_recovery_overhead,
+    fault_recovery_summary,
+)
 from repro.analytics.metrics import (
     group_units,
     phase_execution_time,
@@ -16,6 +21,9 @@ from repro.analytics.validation import (
 )
 
 __all__ = [
+    "FaultRecoverySummary",
+    "fault_recovery_overhead",
+    "fault_recovery_summary",
     "group_units",
     "phase_execution_time",
     "phase_total_time",

@@ -16,6 +16,7 @@ from repro.cluster.platform import NodeSpec, PlatformSpec
 from repro.cluster.platforms import get_platform, list_platforms, register_platform
 from repro.cluster.job import BatchJob, BatchJobState
 from repro.cluster.batch import BatchScheduler
+from repro.cluster.faults import NodeFaultModel, NodeFaultProcess
 from repro.cluster.filesystem import SharedFilesystem
 from repro.cluster.network import NetworkModel
 
@@ -28,6 +29,8 @@ __all__ = [
     "BatchJob",
     "BatchJobState",
     "BatchScheduler",
+    "NodeFaultModel",
+    "NodeFaultProcess",
     "SharedFilesystem",
     "NetworkModel",
 ]

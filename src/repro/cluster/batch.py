@@ -97,6 +97,15 @@ class BatchScheduler:
         elif job.state is BatchJobState.RUNNING:
             self.release(job, BatchJobState.CANCELLED)
 
+    def fail(self, job: BatchJob) -> None:
+        """Kill a running job from outside (its nodes died); frees its nodes.
+
+        Pending jobs cannot *fail* this way — there is nothing running to
+        die — so failing a non-running job is a no-op.
+        """
+        if job.state is BatchJobState.RUNNING:
+            self.release(job, BatchJobState.FAILED)
+
     def release(self, job: BatchJob, state: BatchJobState = BatchJobState.COMPLETED) -> None:
         """Return a running job's nodes to the pool and finalize it."""
         if job.state is not BatchJobState.RUNNING:

@@ -1,0 +1,160 @@
+"""Node-level failure domains for simulated clusters.
+
+Task-level faults (:mod:`repro.pilot.faults`) model a single process
+dying; production ensembles also lose whole *nodes* — a crash takes down
+every unit resident on the node and the node stays out of service for a
+repair interval.  This module models that failure domain:
+
+* each node of an allocation fails independently with an exponential
+  mean-time-between-failures (``mtbf``),
+* a failed node is unschedulable for ``repair_time`` seconds, then
+  returns to service and its failure clock re-arms,
+* failure draws come from their own named random stream
+  (``"node_faults"``), so enabling node faults does not perturb queue
+  wait, network or task-fault draws of an otherwise identical run.
+
+The pilot agent owns one :class:`NodeFaultProcess` per allocation and
+reacts to its callbacks (killing resident units, masking slots); the
+process itself knows nothing about pilots or units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.eventsim import Event, Simulator
+
+__all__ = ["NodeFaultModel", "NodeFaultProcess"]
+
+#: Name of the random stream all node-failure draws come from.
+NODE_FAULT_STREAM = "node_faults"
+
+
+@dataclass(frozen=True)
+class NodeFaultModel:
+    """Per-node exponential failure/repair parameters.
+
+    ``mtbf`` is the mean seconds between failures of *one* node (0 disables
+    node faults entirely); ``repair_time`` is how long a failed node stays
+    unschedulable before rejoining the pool.
+    """
+
+    mtbf: float = 0.0
+    repair_time: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf < 0:
+            raise ConfigurationError("node mtbf must be non-negative")
+        if self.repair_time <= 0:
+            raise ConfigurationError("node repair_time must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return self.mtbf > 0.0
+
+
+class NodeFaultProcess:
+    """Drives failure/repair cycles for the nodes of one allocation.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator to schedule on.
+    rng:
+        Generator for the exponential draws (callers pass the session's
+        ``"node_faults"`` stream).
+    nnodes:
+        Number of nodes in the allocation (node ids ``0..nnodes-1``).
+    model:
+        The MTBF/repair parametrization.
+    on_fail / on_repair:
+        ``callback(node_id)`` invoked at each transition, *before* the
+        next cycle is armed.
+    label:
+        Prefix for event labels (usually the owning pilot's uid).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        rng: "np.random.Generator",
+        nnodes: int,
+        model: NodeFaultModel,
+        on_fail: Callable[[int], None],
+        on_repair: Callable[[int], None],
+        label: str = "",
+    ) -> None:
+        if nnodes < 1:
+            raise ConfigurationError("allocation must span at least one node")
+        if not model.enabled:
+            raise ConfigurationError("NodeFaultProcess needs an enabled model")
+        self.sim = sim
+        self.rng = rng
+        self.nnodes = nnodes
+        self.model = model
+        self.on_fail = on_fail
+        self.on_repair = on_repair
+        self.label = label
+        self._events: dict[int, "Event"] = {}
+        self._down: set[int] = set()
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the failure clock of every node."""
+        if self._started:
+            return
+        self._started = True
+        for node in range(self.nnodes):
+            self._arm(node)
+
+    def stop(self) -> None:
+        """Cancel every pending failure/repair event."""
+        if not self._started:
+            return
+        self._started = False
+        for event in self._events.values():
+            self.sim.cancel(event)
+        self._events.clear()
+
+    @property
+    def down_nodes(self) -> set[int]:
+        """Node ids currently failed and under repair."""
+        return set(self._down)
+
+    # -- internals --------------------------------------------------------------
+
+    def _arm(self, node: int) -> None:
+        delay = float(self.rng.exponential(self.model.mtbf))
+        self._events[node] = self.sim.schedule(
+            delay,
+            lambda n=node: self._fail(n),
+            label=f"node_fail:{self.label}:{node}",
+        )
+
+    def _fail(self, node: int) -> None:
+        if not self._started:
+            return
+        self._events.pop(node, None)
+        self._down.add(node)
+        self.on_fail(node)
+        self._events[node] = self.sim.schedule(
+            self.model.repair_time,
+            lambda n=node: self._repair(n),
+            label=f"node_repair:{self.label}:{node}",
+        )
+
+    def _repair(self, node: int) -> None:
+        if not self._started:
+            return
+        self._events.pop(node, None)
+        self._down.discard(node)
+        self.on_repair(node)
+        self._arm(node)

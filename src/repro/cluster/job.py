@@ -15,14 +15,17 @@ __all__ = ["BatchJobState", "BatchJob"]
 class BatchJobState(str, enum.Enum):
     """Life cycle of a batch job.
 
-    ``PENDING -> RUNNING -> {COMPLETED, TIMEOUT, CANCELLED}`` and
-    ``PENDING -> CANCELLED``.
+    ``PENDING -> RUNNING -> {COMPLETED, TIMEOUT, FAILED, CANCELLED}`` and
+    ``PENDING -> CANCELLED``.  ``FAILED`` is an external kill — the nodes
+    under the job died (as opposed to the scheduler's own walltime
+    ``TIMEOUT`` or a user ``CANCELLED``).
     """
 
     PENDING = "PENDING"
     RUNNING = "RUNNING"
     COMPLETED = "COMPLETED"
     TIMEOUT = "TIMEOUT"
+    FAILED = "FAILED"
     CANCELLED = "CANCELLED"
 
     @property
@@ -30,6 +33,7 @@ class BatchJobState(str, enum.Enum):
         return self in (
             BatchJobState.COMPLETED,
             BatchJobState.TIMEOUT,
+            BatchJobState.FAILED,
             BatchJobState.CANCELLED,
         )
 
@@ -39,10 +43,16 @@ _LEGAL_EDGES: dict[BatchJobState, frozenset[BatchJobState]] = {
         {BatchJobState.RUNNING, BatchJobState.CANCELLED}
     ),
     BatchJobState.RUNNING: frozenset(
-        {BatchJobState.COMPLETED, BatchJobState.TIMEOUT, BatchJobState.CANCELLED}
+        {
+            BatchJobState.COMPLETED,
+            BatchJobState.TIMEOUT,
+            BatchJobState.FAILED,
+            BatchJobState.CANCELLED,
+        }
     ),
     BatchJobState.COMPLETED: frozenset(),
     BatchJobState.TIMEOUT: frozenset(),
+    BatchJobState.FAILED: frozenset(),
     BatchJobState.CANCELLED: frozenset(),
 }
 

@@ -231,6 +231,23 @@ class PatternDriver(abc.ABC):
 
     # -- fault tolerance ---------------------------------------------------------------
 
+    @property
+    def retry_policy(self):
+        """Effective task-retry policy of the driven pattern.
+
+        ``pattern.retry_policy`` wins; a bare ``max_task_retries`` counter
+        is adapted to an immediate (zero-backoff) policy; neither set means
+        no retries (``None``).
+        """
+        from repro.pilot.retry import RetryPolicy
+
+        policy = getattr(self.pattern, "retry_policy", None)
+        if policy is not None:
+            return policy
+        return RetryPolicy.from_legacy_retries(
+            getattr(self.pattern, "max_task_retries", 0)
+        )
+
     def _try_retry(self, unit: "ComputeUnit") -> bool:
         """Resubmit a failed unit if the pattern's retry budget allows.
 
@@ -238,14 +255,17 @@ class PatternDriver(abc.ABC):
         (same payload, staging, tags), so the pattern's ordering logic sees
         it exactly as it saw the original.  Drivers that keep uid-keyed
         placeholder maps are told to rebind via :meth:`on_unit_retried`.
+        The policy's exponential backoff is charged as extra delivery delay
+        on the virtual clock.
         """
-        budget = getattr(self.pattern, "max_task_retries", 0)
-        if budget <= 0:
+        policy = self.retry_policy
+        if policy is None:
             return False
         root = unit.description.tags.get("__retry_root", unit.uid)
         with self._lock:
             used = self._retries.get(root, 0)
-            if used >= budget:
+            # attempts consumed so far = the original + `used` retries.
+            if not policy.should_retry(used + 1):
                 return False
             self._retries[root] = used + 1
         import dataclasses
@@ -259,18 +279,25 @@ class PatternDriver(abc.ABC):
             tags={**unit.description.tags, "__retry_root": root,
                   "__retry_attempt": used + 1},
         )
+        delay = 0.0
+        if self.session.is_simulated:
+            rng = None
+            if policy.jitter > 0:
+                rng = self.session.sim_context.streams.get("retry_backoff")
+            delay = policy.jittered_delay(used + 1, rng)
         self.session.prof.event(
-            "entk_task_retry", unit.uid, attempt=used + 1, root=root
+            "entk_task_retry", unit.uid, attempt=used + 1, root=root,
+            delay=delay,
         )
-        log.info("retrying failed unit %s (attempt %d/%d)",
-                 unit.uid, used + 1, budget)
+        log.info("retrying failed unit %s (attempt %d/%d, backoff %.1fs)",
+                 unit.uid, used + 1, policy.retries, delay)
         # Hold the driver lock across submit + bookkeeping: the replacement
         # may finish on another worker thread immediately, and its final
         # callback (which also takes this lock) must observe the unit list
         # and the rebound placeholder maps.
         with self._lock:
             replacement = self.umgr.submit_units(
-                [description], callback=self._unit_event
+                [description], callback=self._unit_event, extra_delay=delay
             )[0]
             self.units.append(replacement)
             self.on_unit_retried(unit, replacement)

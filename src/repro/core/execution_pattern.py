@@ -35,7 +35,14 @@ class ExecutionPattern:
     #: Fault tolerance: how many times a failed task is resubmitted before
     #: its failure is surfaced to the pattern (paper §I lists fault-tolerant
     #: execution of large ensembles among the requirements scripting fails).
+    #: Retained for backward compatibility; superseded by ``retry_policy``.
     max_task_retries: int = 0
+
+    #: Full retry parametrization (:class:`repro.pilot.retry.RetryPolicy`):
+    #: attempt budget plus exponential backoff between resubmissions.  When
+    #: set it takes precedence over ``max_task_retries``; when ``None`` the
+    #: driver adapts ``max_task_retries`` to an immediate-retry policy.
+    retry_policy = None
 
     def __init__(self) -> None:
         self.uid = generate_id(f"pattern.{self.pattern_name}")

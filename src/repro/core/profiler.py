@@ -46,6 +46,11 @@ class OverheadBreakdown:
     pattern_overhead: float
     runtime_overhead: float
     ntasks: int
+    #: Seconds spent coping with injected failures (wasted execution,
+    #: retry backoff, pilot resubmission downtime), summed per affected
+    #: unit — aggregate core-time, may exceed TTC; 0.0 in fault-free runs.
+    #: See :func:`repro.analytics.faults.fault_recovery_summary`.
+    fault_overhead: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -55,6 +60,7 @@ class OverheadBreakdown:
             "core_overhead": self.core_overhead,
             "pattern_overhead": self.pattern_overhead,
             "runtime_overhead": self.runtime_overhead,
+            "fault_overhead": self.fault_overhead,
             "ntasks": self.ntasks,
         }
 
@@ -131,6 +137,12 @@ def breakdown_from_profile(
 
     runtime_overhead = max(ttc - execution_time - pattern_overhead, 0.0)
 
+    # Fault-recovery share of the run (0.0 when no faults were injected).
+    # Imported lazily: analytics sits above core in the layer diagram.
+    from repro.analytics.faults import fault_recovery_overhead
+
+    fault_overhead = fault_recovery_overhead(prof)
+
     return OverheadBreakdown(
         ttc=ttc,
         execution_time=execution_time,
@@ -139,4 +151,5 @@ def breakdown_from_profile(
         pattern_overhead=pattern_overhead,
         runtime_overhead=runtime_overhead,
         ntasks=len(units),
+        fault_overhead=fault_overhead,
     )

@@ -55,6 +55,14 @@ class ResourceHandle:
         and simulated elsewhere.
     seed, model_queue_wait:
         Simulation knobs (see :class:`repro.pilot.session.Session`).
+    fault_rate, node_mtbf, node_repair_time, pilot_mtbf:
+        Fault-injection knobs: task-level Bernoulli faults, node-level
+        MTBF/repair failure domains and pilot container-job deaths
+        (all sim-only; see :class:`repro.pilot.session.Session`).
+    max_pilot_resubmits, retry_policy:
+        Recovery knobs: pilot resubmission budget and the runtime
+        :class:`~repro.pilot.retry.RetryPolicy` for units killed by
+        node/pilot failures.
     agent_policy, slot_strategy:
         Agent scheduling knobs (see :class:`repro.pilot.agent.Agent`).
     overheads:
@@ -73,6 +81,11 @@ class ResourceHandle:
         seed: int = 0,
         model_queue_wait: bool = False,
         fault_rate: float = 0.0,
+        node_mtbf: float = 0.0,
+        node_repair_time: float = 300.0,
+        pilot_mtbf: float = 0.0,
+        max_pilot_resubmits: int = 0,
+        retry_policy=None,
         agent_policy: str = "backfill",
         slot_strategy: str = "scattered",
         sandbox=None,
@@ -88,6 +101,11 @@ class ResourceHandle:
         self.seed = seed
         self.model_queue_wait = model_queue_wait
         self.fault_rate = fault_rate
+        self.node_mtbf = node_mtbf
+        self.node_repair_time = node_repair_time
+        self.pilot_mtbf = pilot_mtbf
+        self.max_pilot_resubmits = max_pilot_resubmits
+        self.retry_policy = retry_policy
         self.agent_policy = agent_policy
         self.slot_strategy = slot_strategy
         self.sandbox = sandbox
@@ -137,6 +155,11 @@ class ResourceHandle:
             seed=self.seed,
             model_queue_wait=self.model_queue_wait,
             fault_rate=self.fault_rate,
+            node_mtbf=self.node_mtbf,
+            node_repair_time=self.node_repair_time,
+            pilot_mtbf=self.pilot_mtbf,
+            max_pilot_resubmits=self.max_pilot_resubmits,
+            retry_policy=self.retry_policy,
         )
         prof = self.session.prof
         prof.event("entk_init_start", self.session.uid)

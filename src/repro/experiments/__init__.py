@@ -10,6 +10,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments import workloads
 from repro.experiments import fig3, fig4, fig5, fig6, fig7, fig8, fig9
 from repro.experiments import ablations
+from repro.experiments import fault_ablation
 
 __all__ = [
     "ExperimentResult",
@@ -22,4 +23,5 @@ __all__ = [
     "fig8",
     "fig9",
     "ablations",
+    "fault_ablation",
 ]

@@ -25,6 +25,7 @@ the clock differ (see DESIGN.md §3).
 
 from repro.pilot.states import PilotState, UnitState
 from repro.pilot.description import ComputePilotDescription, ComputeUnitDescription
+from repro.pilot.retry import RetryPolicy
 from repro.pilot.unit import ComputeUnit
 from repro.pilot.pilot import ComputePilot
 from repro.pilot.session import Session
@@ -36,6 +37,7 @@ __all__ = [
     "UnitState",
     "ComputePilotDescription",
     "ComputeUnitDescription",
+    "RetryPolicy",
     "ComputeUnit",
     "ComputePilot",
     "Session",

@@ -21,10 +21,12 @@ import threading
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.cluster.faults import NODE_FAULT_STREAM, NodeFaultProcess
 from repro.exceptions import SchedulingError
 from repro.pilot.agent.executor import LocalExecutor, SimExecutor
 from repro.pilot.agent.slots import make_slot_scheduler
 from repro.pilot.agent.staging import LocalStager, SimStager
+from repro.pilot.faults import NodeFailure, PilotFailure
 from repro.pilot.states import UnitState
 from repro.utils.logger import get_logger
 
@@ -57,13 +59,27 @@ class Agent:
         self.session = session
         self.pilot = pilot
         self.policy = policy
-        self.slots = make_slot_scheduler(slot_strategy, pilot.cores)
+        self.slot_strategy = slot_strategy
+        # Node boundaries only matter under simulation, where they are the
+        # failure domain of the node-fault model; locally the pilot is one
+        # "node" so nothing changes for real execution.
+        self._cores_per_node = (
+            session.platform.cores_per_node if session.is_simulated else None
+        )
+        self.slots = make_slot_scheduler(
+            slot_strategy, pilot.cores, self._cores_per_node
+        )
         self._lock = threading.RLock()
         self._waiting: deque["ComputeUnit"] = deque()
         self._executing: dict[str, "ComputeUnit"] = {}
         self._cancelled: set[str] = set()
         self._started = False
         self._unit_final_cb: Callable[["ComputeUnit"], Any] | None = None
+        self._unit_killed_cb: (
+            Callable[["ComputeUnit", BaseException], Any] | None
+        ) = None
+        self._fault_process: NodeFaultProcess | None = None
+        self._launch_times: dict[str, float] = {}
 
         if session.is_simulated:
             self.stager = SimStager(session.sim_context)
@@ -84,10 +100,12 @@ class Agent:
         with self._lock:
             self._started = True
         self.session.prof.event("agent_start", self.pilot.uid)
+        self._arm_node_faults()
         self._reschedule()
 
     def stop(self) -> None:
         """Called at pilot teardown; cancels whatever is still queued."""
+        self._disarm_node_faults()
         with self._lock:
             waiting = list(self._waiting)
             self._waiting.clear()
@@ -97,9 +115,67 @@ class Agent:
         self.executor.shutdown()
         self.session.prof.event("agent_stop", self.pilot.uid)
 
+    def suspend(self) -> None:
+        """The pilot's container job died with resubmission budget left.
+
+        In-flight units are killed (and handed to the unit manager, which
+        requeues them under the retry policy), waiting units stay queued
+        for the next activation, and the slot table is rebuilt: the
+        resubmitted pilot lands on a fresh allocation, so no previous
+        placement or node failure survives.
+        """
+        self._disarm_node_faults()
+        with self._lock:
+            self._started = False
+            victims = list(self._executing.values())
+        for unit in victims:
+            self._kill_unit(unit, node=None)
+        self.slots = make_slot_scheduler(
+            self.slot_strategy, self.pilot.cores, self._cores_per_node
+        )
+        self.session.prof.event("agent_suspend", self.pilot.uid)
+
+    def abort(self) -> None:
+        """The pilot died with no resubmission budget left.
+
+        Unlike :meth:`suspend`, nothing will reactivate this agent, so
+        waiting units are handed to the kill hook too: under a retry
+        policy they can migrate to surviving pilots, otherwise they fail
+        in place instead of lingering until the simulation drains.
+        """
+        self._disarm_node_faults()
+        with self._lock:
+            self._started = False
+            victims = list(self._executing.values())
+            waiting = list(self._waiting)
+            self._waiting.clear()
+        for unit in victims:
+            self._kill_unit(unit, node=None)
+        for unit in waiting:
+            exc = PilotFailure(
+                f"unit {unit.uid} stranded by pilot {self.pilot.uid} dying"
+            )
+            unit.exception = exc
+            if self._unit_killed_cb is not None:
+                self._unit_killed_cb(unit, exc)
+            else:
+                unit.advance(UnitState.FAILED)
+                self._notify_final(unit)
+        self.executor.shutdown()
+        self.session.prof.event("agent_abort", self.pilot.uid)
+
     def on_unit_final(self, callback: Callable[["ComputeUnit"], Any]) -> None:
         """Register the unit manager's completion hook."""
         self._unit_final_cb = callback
+
+    def on_unit_killed(
+        self, callback: Callable[["ComputeUnit", BaseException], Any]
+    ) -> None:
+        """Register the unit manager's node/pilot-kill hook.
+
+        Without one, killed units fail terminally in place (no retries).
+        """
+        self._unit_killed_cb = callback
 
     # -- submission ---------------------------------------------------------------
 
@@ -149,16 +225,34 @@ class Agent:
             self._waiting.append(unit)
         self._reschedule()
 
+    def _avoid_for(self, unit: "ComputeUnit") -> frozenset[int]:
+        """Nodes of *this* pilot the unit's exclusion list rules out."""
+        if not unit.excluded_nodes:
+            return frozenset()
+        return frozenset(
+            node for puid, node in unit.excluded_nodes if puid == self.pilot.uid
+        )
+
     def _reschedule(self) -> None:
         """Start every waiting unit the policy and free slots allow."""
         launched: list["ComputeUnit"] = []
+        unplaceable: list["ComputeUnit"] = []
         with self._lock:
             if not self._started:
                 return
             if self.policy == "fifo":
                 while self._waiting:
                     head = self._waiting[0]
-                    slots = self.slots.alloc(head.description.cores)
+                    avoid = self._avoid_for(head)
+                    if (
+                        avoid
+                        and self.slots.eligible_cores(avoid)
+                        < head.description.cores
+                    ):
+                        self._waiting.popleft()
+                        unplaceable.append(head)
+                        continue
+                    slots = self.slots.alloc(head.description.cores, avoid)
                     if slots is None:
                         break
                     self._waiting.popleft()
@@ -169,7 +263,15 @@ class Agent:
                 remaining: deque["ComputeUnit"] = deque()
                 while self._waiting:
                     unit = self._waiting.popleft()
-                    slots = self.slots.alloc(unit.description.cores)
+                    avoid = self._avoid_for(unit)
+                    if (
+                        avoid
+                        and self.slots.eligible_cores(avoid)
+                        < unit.description.cores
+                    ):
+                        unplaceable.append(unit)
+                        continue
+                    slots = self.slots.alloc(unit.description.cores, avoid)
                     if slots is None:
                         remaining.append(unit)
                         continue
@@ -177,11 +279,104 @@ class Agent:
                     self._executing[unit.uid] = unit
                     launched.append(unit)
                 self._waiting = remaining
+        for unit in unplaceable:
+            # The exclusion list leaves too few cores on this pilot — no
+            # amount of waiting or repairs can place the unit, so fail fast
+            # instead of queueing it forever.
+            unit.exception = NodeFailure(
+                f"unit {unit.uid} cannot be placed on pilot {self.pilot.uid}: "
+                f"excluded nodes leave fewer than "
+                f"{unit.description.cores} eligible cores"
+            )
+            unit.advance(UnitState.FAILED)
+            self._notify_final(unit)
         for unit in launched:
+            unit.attempts += 1
+            self._launch_times[unit.uid] = self.session.now()
             self.session.prof.event(
                 "unit_slots", unit.uid, slots=len(unit.slots), pilot=self.pilot.uid
             )
             self.executor.launch(unit, self._on_unit_done)
+
+    # -- failure domains ------------------------------------------------------------
+
+    def _arm_node_faults(self) -> None:
+        model = self.session.node_fault_model
+        if not (self.session.is_simulated and model.enabled):
+            return
+        if self._fault_process is None:
+            self._fault_process = NodeFaultProcess(
+                self.session.sim,
+                self.session.sim_context.streams.get(NODE_FAULT_STREAM),
+                self.slots.nnodes,
+                model,
+                self._on_node_failure,
+                self._on_node_repair,
+                label=self.pilot.uid,
+            )
+        self._fault_process.start()
+
+    def _disarm_node_faults(self) -> None:
+        if self._fault_process is not None:
+            self._fault_process.stop()
+            self._fault_process = None
+
+    def _on_node_failure(self, node: int) -> None:
+        self.session.prof.event("node_fail", self.pilot.uid, node=node)
+        self.slots.fail_node(node)
+        with self._lock:
+            victims = [
+                u
+                for u in self._executing.values()
+                if any(self.slots.node_of(s) == node for s in u.slots)
+            ]
+        for unit in victims:
+            self._kill_unit(unit, node=node)
+        # Multi-node victims may have freed slots on healthy nodes.
+        self._reschedule()
+
+    def _on_node_repair(self, node: int) -> None:
+        self.session.prof.event("node_repair", self.pilot.uid, node=node)
+        self.slots.repair_node(node)
+        self._reschedule()
+
+    def _kill_unit(self, unit: "ComputeUnit", node: int | None) -> None:
+        """Tear down one in-flight unit whose node (or whole pilot) died."""
+        self.executor.kill(unit)
+        with self._lock:
+            self._executing.pop(unit.uid, None)
+            if unit.slots:
+                self.slots.dealloc(unit.slots)
+                unit.slots = []
+        launched_at = self._launch_times.pop(unit.uid, None)
+        wasted = (
+            self.session.now() - launched_at if launched_at is not None else 0.0
+        )
+        policy = self.session.retry_policy
+        if node is None:
+            self.session.prof.event(
+                "unit_pilot_kill", unit.uid, pilot=self.pilot.uid, wasted=wasted
+            )
+            exc: BaseException = PilotFailure(
+                f"unit {unit.uid} lost to pilot {self.pilot.uid} dying"
+            )
+        else:
+            self.session.prof.event(
+                "unit_node_kill", unit.uid,
+                pilot=self.pilot.uid, node=node, wasted=wasted,
+            )
+            exc = NodeFailure(
+                f"unit {unit.uid} lost to node {node} of pilot "
+                f"{self.pilot.uid} crashing"
+            )
+            if policy is not None and policy.exclude_failed_nodes:
+                unit.excluded_nodes.add((self.pilot.uid, node))
+        unit.exception = exc
+        if self._unit_killed_cb is not None:
+            self._unit_killed_cb(unit, exc)
+        else:
+            unit.advance(UnitState.FAILED)
+            self._notify_final(unit)
 
     def _on_unit_done(
         self,
@@ -192,6 +387,7 @@ class Agent:
     ) -> None:
         with self._lock:
             self._executing.pop(unit.uid, None)
+            self._launch_times.pop(unit.uid, None)
             if unit.slots:
                 self.slots.dealloc(unit.slots)
         if not ok:

@@ -108,6 +108,9 @@ class LocalExecutor:
             return
         on_done(unit, True, result, None)
 
+    def kill(self, unit: "ComputeUnit") -> None:
+        """Real threads cannot be killed mid-payload; kills are sim-only."""
+
     def shutdown(self) -> None:
         if not self._shutdown:
             self._shutdown = True
@@ -130,6 +133,9 @@ class SimExecutor:
         self.session = session
         self.context = session.sim_context
         self.evaluate_payloads = evaluate_payloads
+        #: Pending launch/finish event per in-flight unit, so a node or
+        #: pilot failure can kill the execution before it completes.
+        self._inflight: dict[str, Any] = {}
 
     def launch(self, unit: "ComputeUnit", on_done: DoneCallback) -> None:
         method = get_launch_method(unit.description)
@@ -142,19 +148,25 @@ class SimExecutor:
         def start() -> None:
             unit.advance(UnitState.EXECUTING)
             if fault_offset is not None:
-                sim.schedule(fault_offset, fail, label=f"fault:{unit.uid}")
+                self._inflight[unit.uid] = sim.schedule(
+                    fault_offset, fail, label=f"fault:{unit.uid}"
+                )
             else:
-                sim.schedule(runtime, finish, label=f"exec:{unit.uid}")
+                self._inflight[unit.uid] = sim.schedule(
+                    runtime, finish, label=f"exec:{unit.uid}"
+                )
 
         def fail() -> None:
             from repro.pilot.faults import TaskFault
 
+            self._inflight.pop(unit.uid, None)
             self.session.prof.event("task_fault", unit.uid,
                                     at=fault_offset, runtime=runtime)
             on_done(unit, False, None,
                     TaskFault(f"injected fault in {unit.uid}"))
 
         def finish() -> None:
+            self._inflight.pop(unit.uid, None)
             result = None
             if self.evaluate_payloads and unit.description.payload is not None:
                 try:
@@ -164,7 +176,22 @@ class SimExecutor:
                     return
             on_done(unit, True, result, None)
 
-        sim.schedule(overhead, start, label=f"launch:{unit.uid}")
+        self._inflight[unit.uid] = sim.schedule(
+            overhead, start, label=f"launch:{unit.uid}"
+        )
+
+    def kill(self, unit: "ComputeUnit") -> None:
+        """Cancel the unit's pending execution event (node/pilot death).
+
+        The unit's ``on_done`` is *not* invoked: the caller owns the
+        failure handling (requeue or fail), exactly like a real node crash
+        produces no exit status.
+        """
+        event = self._inflight.pop(unit.uid, None)
+        if event is not None:
+            self.context.sim.cancel(event)
 
     def shutdown(self) -> None:  # symmetry with LocalExecutor
-        pass
+        for event in self._inflight.values():
+            self.context.sim.cancel(event)
+        self._inflight.clear()

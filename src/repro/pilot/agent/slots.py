@@ -10,6 +10,13 @@ schedulers:
 * :class:`ScatteredSlotScheduler` — any free cores will do; never
   fragments, but co-locates nothing.
 
+Slots are grouped into *nodes* of ``cores_per_node`` slots each (slot ``i``
+lives on node ``i // cores_per_node``), which is the failure domain of the
+node-fault model: :meth:`~CoreSlotScheduler.fail_node` takes a whole node's
+slots out of service until :meth:`~CoreSlotScheduler.repair_node`, and
+allocations can *avoid* named nodes (the retry policy's failed-node
+exclusion list).
+
 The invariant enforced here (and property-tested) is the paper-critical
 one: at no instant do occupied slots exceed the pilot size, and no slot is
 double-booked.
@@ -30,29 +37,103 @@ __all__ = [
 
 
 class CoreSlotScheduler(abc.ABC):
-    """Tracks which of the pilot's cores are free."""
+    """Tracks which of the pilot's cores are free (and on healthy nodes)."""
 
-    def __init__(self, total_cores: int) -> None:
+    def __init__(self, total_cores: int, cores_per_node: int | None = None) -> None:
         if total_cores < 1:
             raise SchedulingError("pilot must hold at least one core")
+        if cores_per_node is not None and cores_per_node < 1:
+            raise SchedulingError("cores_per_node must be positive")
         self.total_cores = total_cores
+        #: Node size; a single-node pilot by default (no interior domains).
+        self.cores_per_node = cores_per_node or total_cores
         self._free = [True] * total_cores
+        self._offline = [False] * total_cores
         self._nfree = total_cores
+
+    # -- topology ----------------------------------------------------------------
+
+    @property
+    def nnodes(self) -> int:
+        return -(-self.total_cores // self.cores_per_node)
+
+    def node_of(self, slot: int) -> int:
+        return slot // self.cores_per_node
+
+    def node_slots(self, node: int) -> range:
+        """Slot ids of *node* (the last node may be partial)."""
+        if not 0 <= node < self.nnodes:
+            raise SchedulingError(f"no node {node} in a {self.nnodes}-node pilot")
+        start = node * self.cores_per_node
+        return range(start, min(start + self.cores_per_node, self.total_cores))
+
+    # -- accounting ---------------------------------------------------------------
 
     @property
     def free_cores(self) -> int:
+        """Schedulable cores: free *and* on a healthy node."""
         return self._nfree
 
     @property
     def used_cores(self) -> int:
-        return self.total_cores - self._nfree
+        return sum(1 for free in self._free if not free)
 
-    def alloc(self, ncores: int) -> list[int] | None:
+    @property
+    def offline_nodes(self) -> set[int]:
+        return {
+            self.node_of(i) for i, off in enumerate(self._offline) if off
+        }
+
+    def eligible_cores(self, avoid_nodes: set[int] | frozenset[int] = frozenset()) -> int:
+        """Cores a unit avoiding *avoid_nodes* could ever occupy.
+
+        Ignores occupancy and repairs-in-progress: this is the *permanent*
+        capacity check — if it is below a unit's core count, no amount of
+        waiting makes the unit placeable and it must fail instead of
+        queueing forever.
+        """
+        if not avoid_nodes:
+            return self.total_cores
+        return sum(
+            1 for i in range(self.total_cores) if self.node_of(i) not in avoid_nodes
+        )
+
+    # -- failure domains -----------------------------------------------------------
+
+    def fail_node(self, node: int) -> None:
+        """Mark *node* unschedulable; its free slots leave the pool.
+
+        Occupied slots on the node stay marked occupied — the agent kills
+        the resident units and their :meth:`dealloc` then discovers the
+        slots are offline and keeps them out of the pool.
+        """
+        for slot in self.node_slots(node):
+            if not self._offline[slot]:
+                self._offline[slot] = True
+                if self._free[slot]:
+                    self._nfree -= 1
+
+    def repair_node(self, node: int) -> None:
+        """Return *node* to service; its free slots rejoin the pool."""
+        for slot in self.node_slots(node):
+            if self._offline[slot]:
+                self._offline[slot] = False
+                if self._free[slot]:
+                    self._nfree += 1
+
+    # -- allocation ----------------------------------------------------------------
+
+    def alloc(
+        self,
+        ncores: int,
+        avoid_nodes: set[int] | frozenset[int] = frozenset(),
+    ) -> list[int] | None:
         """Return *ncores* slot ids, or ``None`` if they are not available.
 
-        Raises :class:`SchedulingError` when the request can *never* be
-        satisfied (larger than the pilot), so callers fail fast instead of
-        queueing a unit forever.
+        *avoid_nodes* excludes whole nodes from consideration (retry
+        placement exclusion).  Raises :class:`SchedulingError` when the
+        request can *never* be satisfied (larger than the pilot), so
+        callers fail fast instead of queueing a unit forever.
         """
         if ncores < 1:
             raise SchedulingError("must allocate at least one core")
@@ -62,36 +143,51 @@ class CoreSlotScheduler(abc.ABC):
             )
         if ncores > self._nfree:
             return None
-        slots = self._pick(ncores)
+        slots = self._pick(ncores, avoid_nodes)
         if slots is None:
             return None
         for slot in slots:
             if not self._free[slot]:
                 raise SchedulingError(f"slot {slot} double-booked (internal bug)")
+            if self._offline[slot]:
+                raise SchedulingError(f"slot {slot} allocated while offline (internal bug)")
             self._free[slot] = False
         self._nfree -= len(slots)
         return slots
 
     def dealloc(self, slots: list[int]) -> None:
+        """Free *slots*; offline slots stay out of the pool until repair."""
         for slot in slots:
             if self._free[slot]:
                 raise SchedulingError(f"slot {slot} freed twice (internal bug)")
             self._free[slot] = True
-        self._nfree += len(slots)
+            if not self._offline[slot]:
+                self._nfree += 1
+
+    def _usable(self, slot: int, avoid_nodes: set[int] | frozenset[int]) -> bool:
+        return (
+            self._free[slot]
+            and not self._offline[slot]
+            and (not avoid_nodes or self.node_of(slot) not in avoid_nodes)
+        )
 
     @abc.abstractmethod
-    def _pick(self, ncores: int) -> list[int] | None:
-        """Choose slots among the free ones (enough are free by contract)."""
+    def _pick(
+        self, ncores: int, avoid_nodes: set[int] | frozenset[int]
+    ) -> list[int] | None:
+        """Choose slots among the usable ones (enough are free by contract)."""
 
 
 class ContiguousSlotScheduler(CoreSlotScheduler):
     """First-fit contiguous block; may refuse due to fragmentation."""
 
-    def _pick(self, ncores: int) -> list[int] | None:
+    def _pick(
+        self, ncores: int, avoid_nodes: set[int] | frozenset[int]
+    ) -> list[int] | None:
         run_start = None
         run_len = 0
-        for i, free in enumerate(self._free):
-            if free:
+        for i in range(self.total_cores):
+            if self._usable(i, avoid_nodes):
                 if run_start is None:
                     run_start = i
                 run_len += 1
@@ -106,15 +202,21 @@ class ContiguousSlotScheduler(CoreSlotScheduler):
 class ScatteredSlotScheduler(CoreSlotScheduler):
     """Lowest-numbered free cores, contiguous or not; never fragments."""
 
-    def _pick(self, ncores: int) -> list[int] | None:
-        slots = [i for i, free in enumerate(self._free) if free][:ncores]
+    def _pick(
+        self, ncores: int, avoid_nodes: set[int] | frozenset[int]
+    ) -> list[int] | None:
+        slots = [
+            i for i in range(self.total_cores) if self._usable(i, avoid_nodes)
+        ][:ncores]
         return slots if len(slots) == ncores else None
 
 
-def make_slot_scheduler(kind: str, total_cores: int) -> CoreSlotScheduler:
+def make_slot_scheduler(
+    kind: str, total_cores: int, cores_per_node: int | None = None
+) -> CoreSlotScheduler:
     """Factory: ``"contiguous"`` or ``"scattered"``."""
     if kind == "contiguous":
-        return ContiguousSlotScheduler(total_cores)
+        return ContiguousSlotScheduler(total_cores, cores_per_node)
     if kind == "scattered":
-        return ScatteredSlotScheduler(total_cores)
+        return ScatteredSlotScheduler(total_cores, cores_per_node)
     raise SchedulingError(f"unknown slot scheduler {kind!r}")

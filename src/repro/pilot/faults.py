@@ -13,16 +13,28 @@ perturb queue-wait or network draws of an otherwise identical run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.eventsim import RandomStreams
 from repro.exceptions import ConfigurationError
 
-__all__ = ["TaskFault", "FaultModel"]
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+__all__ = ["TaskFault", "NodeFailure", "PilotFailure", "FaultModel"]
 
 
 class TaskFault(RuntimeError):
     """The injected failure carried by a faulted unit."""
+
+
+class NodeFailure(RuntimeError):
+    """Carried by a unit killed by a node crash (or placement exhaustion)."""
+
+
+class PilotFailure(RuntimeError):
+    """Carried by a unit killed by its pilot's container job dying."""
 
 
 @dataclass
@@ -35,11 +47,11 @@ class FaultModel:
     """
 
     rate: float = 0.0
+    _rng: "np.random.Generator | None" = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate < 1.0:
             raise ConfigurationError("fault rate must be in [0, 1)")
-        self._rng = None
 
     def bind(self, streams: RandomStreams) -> "FaultModel":
         self._rng = streams.get("task_faults")

@@ -28,6 +28,8 @@ class ComputePilot:
         self.timestamps: dict[str, float] = {"NEW": session.now()}
         self.agent: Any = None  # attached by the pilot manager at launch
         self.saga_job: Any = None
+        #: Container-job resubmissions consumed (pilot-level fault tolerance).
+        self.resubmits = 0
 
     @property
     def state(self) -> PilotState:

@@ -30,6 +30,8 @@ class PilotManager:
         self.pilots: list[ComputePilot] = []
         self._agent_options = agent_options
         self._services: dict[str, JobService] = {}
+        #: Pending pilot-level fault event per pilot uid (sim only).
+        self._pilot_fault_events: dict[str, object] = {}
 
     # -- submission ---------------------------------------------------------------
 
@@ -71,6 +73,13 @@ class PilotManager:
         context = self.session.sim_context
         service = JobService(f"sim://{pilot.description.resource}", context=context)
         self._services[pilot.uid] = service
+        job = self._make_sim_job(pilot, service)
+        pilot.advance(PilotState.PENDING)
+        job.run()
+
+    def _make_sim_job(self, pilot: ComputePilot, service: JobService):
+        """One container-job incarnation of *pilot* (initial or resubmitted)."""
+        context = self.session.sim_context
 
         def payload(job) -> None:
             # Container job started: the agent bootstraps, then goes ACTIVE.
@@ -78,6 +87,7 @@ class PilotManager:
                 if pilot.state is PilotState.PENDING:
                     pilot.advance(PilotState.ACTIVE)
                     pilot.agent.start()
+                    self._arm_pilot_fault(pilot, job)
 
             context.sim.schedule(
                 context.platform.agent_bootstrap,
@@ -86,10 +96,19 @@ class PilotManager:
             )
 
         def on_job_state(job, state: JobState) -> None:
-            if state is JobState.FAILED and not pilot.state.is_final:
-                pilot.agent.stop()
-                pilot.advance(PilotState.FAILED)
-            elif state is JobState.CANCELED and not pilot.state.is_final:
+            if pilot.state.is_final:
+                return
+            if state is JobState.FAILED:
+                self._disarm_pilot_fault(pilot)
+                if pilot.resubmits < self.session.max_pilot_resubmits:
+                    self._resubmit_sim(pilot, service)
+                else:
+                    # FAILED first so retry placement skips this pilot,
+                    # then fail/migrate everything it still held.
+                    pilot.advance(PilotState.FAILED)
+                    pilot.agent.abort()
+            elif state is JobState.CANCELED:
+                self._disarm_pilot_fault(pilot)
                 pilot.agent.stop()
                 pilot.advance(PilotState.CANCELED)
 
@@ -104,8 +123,48 @@ class PilotManager:
         )
         job.add_callback(on_job_state)
         pilot.saga_job = job
+        return job
+
+    def _resubmit_sim(self, pilot: ComputePilot, service: JobService) -> None:
+        """Send a killed pilot back through the batch queue.
+
+        The agent is suspended (in-flight units go to the unit manager's
+        retry path, queued units are kept), the pilot returns to PENDING,
+        and a fresh container job pays submit latency and queue wait again.
+        """
+        pilot.resubmits += 1
+        log.info("resubmitting pilot %s (attempt %d/%d)",
+                 pilot.uid, pilot.resubmits, self.session.max_pilot_resubmits)
+        pilot.agent.suspend()
+        job = self._make_sim_job(pilot, service)
         pilot.advance(PilotState.PENDING)
+        self.session.prof.event(
+            "pilot_resubmit", pilot.uid, attempt=pilot.resubmits
+        )
         job.run()
+
+    def _arm_pilot_fault(self, pilot: ComputePilot, job) -> None:
+        """Draw this incarnation's death time from the pilot-fault stream."""
+        mtbf = self.session.pilot_mtbf
+        if not mtbf:
+            return
+        context = self.session.sim_context
+        delay = float(context.streams.get("pilot_faults").exponential(mtbf))
+
+        def fire() -> None:
+            self._pilot_fault_events.pop(pilot.uid, None)
+            if job.state is JobState.RUNNING:
+                self.session.prof.event("pilot_fault", pilot.uid)
+                job.fail()
+
+        self._pilot_fault_events[pilot.uid] = context.sim.schedule(
+            delay, fire, label=f"pilot_fault:{pilot.uid}"
+        )
+
+    def _disarm_pilot_fault(self, pilot: ComputePilot) -> None:
+        event = self._pilot_fault_events.pop(pilot.uid, None)
+        if event is not None:
+            self.session.sim.cancel(event)
 
     def _launch_local(self, pilot: ComputePilot) -> None:
         service = JobService("fork://localhost")
@@ -139,6 +198,7 @@ class PilotManager:
             if pilot.state.is_final:
                 continue
             self.session.prof.event("pilot_cancel", pilot.uid)
+            self._disarm_pilot_fault(pilot)
             pilot.agent.stop()
             pilot.advance(PilotState.CANCELED)
             if pilot.saga_job is not None:

@@ -6,11 +6,13 @@ import shutil
 import tempfile
 from pathlib import Path
 
+from repro.cluster.faults import NodeFaultModel
 from repro.cluster.platforms import get_platform
 from repro.eventsim import RandomStreams
 from repro.exceptions import ConfigurationError
 from repro.pilot.db import SessionStore
 from repro.pilot.faults import FaultModel
+from repro.pilot.retry import RetryPolicy
 from repro.pilot.profiler import Profiler
 from repro.saga.adaptors.sim import SimContext
 from repro.utils.ids import generate_id
@@ -41,6 +43,23 @@ class Session:
         Master seed of the simulation's random streams.
     model_queue_wait:
         Whether the simulated batch queue adds stochastic queue waits.
+    fault_rate:
+        Per-execution Bernoulli task-fault probability (sim only).
+    node_mtbf / node_repair_time:
+        Node-level failure domain: mean seconds between failures of one
+        node (0 disables) and how long a failed node stays out of service
+        (sim only; see :mod:`repro.cluster.faults`).
+    pilot_mtbf:
+        Mean seconds between pilot container-job deaths once active
+        (0 disables; sim only).
+    max_pilot_resubmits:
+        How many times the pilot manager resubmits a killed pilot job
+        through the batch queue before giving up (default 0 keeps the
+        historical dead-end FAILED behaviour).
+    retry_policy:
+        Runtime-level :class:`~repro.pilot.retry.RetryPolicy` applied by
+        the unit manager to units killed by node/pilot failures.  ``None``
+        fails such units on first death.
     """
 
     def __init__(
@@ -51,14 +70,27 @@ class Session:
         seed: int = 0,
         model_queue_wait: bool = False,
         fault_rate: float = 0.0,
+        node_mtbf: float = 0.0,
+        node_repair_time: float = 300.0,
+        pilot_mtbf: float = 0.0,
+        max_pilot_resubmits: int = 0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if mode not in ("local", "sim"):
             raise ConfigurationError(f"unknown session mode {mode!r}")
+        if pilot_mtbf < 0:
+            raise ConfigurationError("pilot mtbf must be non-negative")
+        if max_pilot_resubmits < 0:
+            raise ConfigurationError("max_pilot_resubmits must be non-negative")
         self.uid = generate_id("session")
         self.mode = mode
         self.platform = get_platform(platform)
         self.store = SessionStore()
         self.closed = False
+        self.node_fault_model = NodeFaultModel(node_mtbf, node_repair_time)
+        self.pilot_mtbf = pilot_mtbf
+        self.max_pilot_resubmits = max_pilot_resubmits
+        self.retry_policy = retry_policy
 
         if mode == "sim":
             self.sim_context = SimContext(
@@ -73,7 +105,7 @@ class Session:
             self._own_sandbox = False
             self.sandbox = None
         else:
-            if fault_rate:
+            if fault_rate or node_mtbf or pilot_mtbf:
                 raise ConfigurationError(
                     "fault injection is a simulated-mode feature"
                 )

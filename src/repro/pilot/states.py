@@ -15,7 +15,13 @@ __all__ = ["PilotState", "UnitState", "validate_pilot_edge", "validate_unit_edge
 
 
 class PilotState(str, enum.Enum):
-    """NEW -> PENDING -> ACTIVE -> {DONE, FAILED, CANCELED}."""
+    """NEW -> PENDING -> ACTIVE -> {DONE, FAILED, CANCELED}.
+
+    ``ACTIVE -> PENDING`` is the resubmission edge: a pilot whose container
+    job died re-enters the batch queue (see
+    :meth:`~repro.pilot.pilot_manager.PilotManager`) instead of dead-ending
+    in FAILED while resubmission budget remains.
+    """
 
     NEW = "NEW"
     PENDING = "PENDING"
@@ -37,7 +43,7 @@ _PILOT_EDGES: dict[PilotState, frozenset[PilotState]] = {
         {PilotState.ACTIVE, PilotState.FAILED, PilotState.CANCELED}
     ),
     PilotState.ACTIVE: frozenset(
-        {PilotState.DONE, PilotState.FAILED, PilotState.CANCELED}
+        {PilotState.PENDING, PilotState.DONE, PilotState.FAILED, PilotState.CANCELED}
     ),
     PilotState.DONE: frozenset(),
     PilotState.FAILED: frozenset(),
@@ -51,6 +57,10 @@ class UnitState(str, enum.Enum):
     NEW -> UMGR_SCHEDULING -> AGENT_STAGING_INPUT -> AGENT_SCHEDULING
         -> EXECUTING -> AGENT_STAGING_OUTPUT -> DONE
     with FAILED/CANCELED reachable from every non-final state.
+
+    Two *requeue* edges point backwards: a unit killed by a node or pilot
+    failure while scheduled or executing returns to UMGR_SCHEDULING, so the
+    unit manager can resubmit the same unit under its retry policy.
     """
 
     NEW = "NEW"
@@ -87,6 +97,12 @@ _UNIT_EDGES: dict[UnitState, frozenset[UnitState]] = {
 _UNIT_EDGES[UnitState.DONE] = frozenset()
 _UNIT_EDGES[UnitState.FAILED] = frozenset()
 _UNIT_EDGES[UnitState.CANCELED] = frozenset()
+# Requeue edges: node/pilot failure sends a scheduled or executing unit
+# back to the unit manager for another attempt.
+for _requeue_from in (UnitState.AGENT_SCHEDULING, UnitState.EXECUTING):
+    _UNIT_EDGES[_requeue_from] = _UNIT_EDGES[_requeue_from] | {
+        UnitState.UMGR_SCHEDULING
+    }
 
 
 def validate_pilot_edge(entity: str, current: PilotState, target: PilotState) -> None:

@@ -35,6 +35,12 @@ class ComputeUnit:
         self.pilot_uid: str | None = None
         self.slots: list[int] = []  # core ids occupied while executing
         self.sandbox: str | None = None
+        #: Execution attempts started (the agent increments at each launch).
+        self.attempts = 0
+        #: ``(pilot_uid, node)`` pairs this unit must not be placed on again
+        #: (populated on node kills when the retry policy excludes failed
+        #: nodes).
+        self.excluded_nodes: set[tuple[str, int]] = set()
 
     # -- state -----------------------------------------------------------------
 

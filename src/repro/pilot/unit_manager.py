@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.exceptions import PilotError, SchedulingError
 from repro.pilot.description import ComputeUnitDescription
+from repro.pilot.faults import NodeFailure
 from repro.pilot.pilot import ComputePilot
 from repro.pilot.states import UnitState
 from repro.pilot.unit import ComputeUnit
@@ -45,6 +46,7 @@ class UnitManager:
             pilots = [pilots]
         for pilot in pilots:
             pilot.agent.on_unit_final(self._on_unit_final)
+            pilot.agent.on_unit_killed(self._on_unit_killed)
             self.pilots.append(pilot)
 
     # -- units -----------------------------------------------------------------
@@ -118,6 +120,71 @@ class UnitManager:
             )
         else:
             pilot.agent.submit_units(batch)
+
+    # -- fault recovery ----------------------------------------------------------
+
+    def _on_unit_killed(self, unit: ComputeUnit, exc: BaseException) -> None:
+        """A node or pilot death took the unit down mid-flight.
+
+        The session retry policy decides between another attempt (back
+        through UMGR_SCHEDULING, with exponential backoff charged as extra
+        forwarding delay) and surfacing a terminal FAILED.
+        """
+        policy = self.session.retry_policy
+        if policy is None or not policy.should_retry(unit.attempts):
+            self._fail_unit(unit, exc)
+            return
+        pilot = self._pick_retry_pilot(unit)
+        if pilot is None:
+            self._fail_unit(
+                unit,
+                NodeFailure(
+                    f"unit {unit.uid} has no pilot left with enough "
+                    f"non-excluded cores"
+                ),
+            )
+            return
+        unit.advance(UnitState.UMGR_SCHEDULING)
+        delay = 0.0
+        if self.session.is_simulated:
+            rng = None
+            if policy.jitter > 0:
+                rng = self.session.sim_context.streams.get("retry_backoff")
+            delay = policy.jittered_delay(unit.attempts, rng)
+        self.session.prof.event(
+            "unit_requeue", unit.uid,
+            attempt=unit.attempts, delay=delay, reason=type(exc).__name__,
+        )
+        log.info("requeueing unit %s after %s (attempt %d/%d, backoff %.1fs)",
+                 unit.uid, type(exc).__name__, unit.attempts,
+                 policy.max_attempts, delay)
+        self._forward(pilot, [unit], extra_delay=delay)
+
+    def _pick_retry_pilot(self, unit: ComputeUnit) -> ComputePilot | None:
+        """Round-robin over pilots that can still place the unit."""
+        n = len(self.pilots)
+        for offset in range(n):
+            pilot = self.pilots[(self._rr_next + offset) % n]
+            if pilot.state.is_final or pilot.cores < unit.description.cores:
+                continue
+            avoid = frozenset(
+                node for puid, node in unit.excluded_nodes if puid == pilot.uid
+            )
+            if (
+                avoid
+                and pilot.agent.slots.eligible_cores(avoid)
+                < unit.description.cores
+            ):
+                continue
+            self._rr_next = (self._rr_next + offset + 1) % n
+            return pilot
+        return None
+
+    def _fail_unit(self, unit: ComputeUnit, exc: BaseException) -> None:
+        unit.exception = exc
+        unit.advance(UnitState.FAILED)
+        with self._all_done:
+            self._all_done.notify_all()
 
     # -- completion --------------------------------------------------------------
 

@@ -64,6 +64,10 @@ class ForkAdaptor:
         else:
             job._advance(JobState.DONE)
 
+    def fail(self, job: "Job") -> None:
+        """Real threads cannot be killed from outside; degrade to cancel."""
+        self.cancel(job)
+
     def cancel(self, job: "Job") -> None:
         """Best-effort cancellation.
 

@@ -82,7 +82,7 @@ class SimAdaptor:
             if state is BatchJobState.COMPLETED:
                 job.exit_code = 0
                 job._advance(JobState.DONE)
-            elif state is BatchJobState.TIMEOUT:
+            elif state in (BatchJobState.TIMEOUT, BatchJobState.FAILED):
                 job.exit_code = 1
                 job._advance(JobState.FAILED)
             else:
@@ -110,3 +110,11 @@ class SimAdaptor:
             self.context.batch.cancel(batch_job)
         elif not job.state.is_final:
             job._advance(JobState.CANCELED)
+
+    def fail(self, job: "Job") -> None:
+        """Kill the job's allocation out from under it (external failure)."""
+        batch_job = self._batch_jobs.get(job.uid)
+        if batch_job is not None and batch_job.state is BatchJobState.RUNNING:
+            self.context.batch.fail(batch_job)
+        elif not job.state.is_final:
+            job._advance(JobState.FAILED)

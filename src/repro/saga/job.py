@@ -113,6 +113,12 @@ class Job:
             return
         self.service._adaptor.cancel(self)
 
+    def fail(self) -> None:
+        """Kill the job from outside (simulated node/allocation death)."""
+        if self._state.is_final:
+            return
+        self.service._adaptor.fail(self)
+
 
 class JobService:
     """Factory of :class:`Job` objects bound to one endpoint.

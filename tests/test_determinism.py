@@ -1,0 +1,180 @@
+"""Determinism regression: identical seeds must yield identical traces.
+
+The simulator's determinism promise is the foundation of every ablation
+in ``repro.experiments``: a run is a pure function of (workload, resource,
+seed).  Fault injection is the easiest place to break that promise — a
+single unseeded draw or an event ordered by wall clock would surface
+here — so these tests replay whole EoP/EE/SAL experiments, faults and
+all, and compare the *complete* profiler traces event by event.
+"""
+
+import pytest
+
+from repro.core.kernel_plugin import Kernel
+from repro.core.patterns import (
+    BagOfTasks,
+    EnsembleExchange,
+    EnsembleOfPipelines,
+    SimulationAnalysisLoop,
+)
+from repro.core.resource_handle import ResourceHandle
+from repro.pilot.retry import RetryPolicy
+from repro.utils.ids import reset_id_counters
+
+
+def _sleep(duration):
+    kernel = Kernel(name="misc.sleep")
+    kernel.arguments = [f"--duration={duration}"]
+    return kernel
+
+
+class TwoStageEoP(EnsembleOfPipelines):
+    def stage_1(self, instance):
+        return _sleep(40)
+
+    def stage_2(self, instance):
+        return _sleep(20)
+
+
+class SleepEE(EnsembleExchange):
+    def simulation_stage(self, iteration, instance):
+        return _sleep(30)
+
+    def exchange_stage(self, iteration, instances):
+        return _sleep(5)
+
+
+class SleepSAL(SimulationAnalysisLoop):
+    def simulation_stage(self, iteration, instance):
+        return _sleep(30)
+
+    def analysis_stage(self, iteration, instance):
+        return _sleep(10)
+
+
+class FaultedBag(BagOfTasks):
+    retry_policy = RetryPolicy(
+        max_attempts=8, backoff_base=2.0, backoff_factor=2.0,
+        backoff_cap=60.0, jitter=0.5, exclude_failed_nodes=False,
+    )
+
+    def task(self, instance):
+        return _sleep(100)
+
+
+def trace(pattern_factory, seed=0, cores=32, **handle_kwargs):
+    """Run one pattern from a clean id-counter state; return its trace.
+
+    Traces embed generated uids, so byte-identical replay requires the
+    global id counters to restart with every run.
+    """
+    reset_id_counters()
+    handle = ResourceHandle(
+        "xsede.comet", cores=cores, walltime=600, mode="sim",
+        seed=seed, **handle_kwargs,
+    )
+    handle.allocate()
+    try:
+        handle.run(pattern_factory())
+    finally:
+        handle.deallocate()
+    return list(handle.profile)
+
+
+FAULT_KWARGS = dict(
+    node_mtbf=120.0,
+    node_repair_time=120.0,
+    retry_policy=RetryPolicy(
+        max_attempts=8, backoff_base=2.0, backoff_factor=2.0,
+        backoff_cap=60.0, jitter=0.5, exclude_failed_nodes=False,
+    ),
+)
+
+
+class TestSameSeedSameTrace:
+    """Same seed, same workload, faults enabled → bit-identical traces."""
+
+    def test_eop_with_node_faults(self):
+        make = lambda: TwoStageEoP(ensemble_size=48, pipeline_size=2)
+        first = trace(make, seed=7, **FAULT_KWARGS)
+        second = trace(make, seed=7, **FAULT_KWARGS)
+        assert any(ev.name == "node_fail" for ev in first), (
+            "fixture must actually exercise the fault machinery"
+        )
+        assert first == second
+
+    def test_ee_with_node_faults(self):
+        make = lambda: SleepEE(ensemble_size=32, iterations=2)
+        first = trace(make, seed=3, **FAULT_KWARGS)
+        second = trace(make, seed=3, **FAULT_KWARGS)
+        assert first == second
+
+    def test_sal_with_node_faults(self):
+        make = lambda: SleepSAL(iterations=2, simulation_instances=32)
+        first = trace(make, seed=5, **FAULT_KWARGS)
+        second = trace(make, seed=5, **FAULT_KWARGS)
+        assert first == second
+
+    def test_bag_with_task_and_node_faults(self):
+        """Both failure domains plus jittered backoff, replayed exactly."""
+        make = lambda: FaultedBag(size=64)
+        kwargs = dict(FAULT_KWARGS, fault_rate=0.2)
+        first = trace(make, seed=11, **kwargs)
+        second = trace(make, seed=11, **kwargs)
+        assert any(ev.name == "task_fault" for ev in first)
+        assert first == second
+
+    def test_pilot_resubmission_is_deterministic(self):
+        make = lambda: FaultedBag(size=64)
+        kwargs = dict(FAULT_KWARGS, pilot_mtbf=150.0, max_pilot_resubmits=10)
+        first = trace(make, seed=0, **kwargs)
+        second = trace(make, seed=0, **kwargs)
+        assert any(ev.name == "pilot_resubmit" for ev in first)
+        assert first == second
+
+
+class TestDifferentSeedDifferentTrace:
+    def test_seed_changes_fault_schedule(self):
+        make = lambda: TwoStageEoP(ensemble_size=48, pipeline_size=2)
+        first = trace(make, seed=7, **FAULT_KWARGS)
+        other = trace(make, seed=8, **FAULT_KWARGS)
+        assert first != other
+
+
+class TestFaultsOffIsABitIdenticalNoOp:
+    """Disabled fault machinery must not perturb pre-existing traces.
+
+    A run with every fault knob at its default must be indistinguishable
+    from one where the knobs are passed explicitly as disabled — no extra
+    stream draws, no extra events.  This pins the promise that merely
+    *having* the fault subsystem does not change any published result.
+    """
+
+    def test_explicit_zeros_match_defaults(self):
+        make = lambda: TwoStageEoP(ensemble_size=48, pipeline_size=2)
+        plain = trace(make, seed=7)
+        disabled = trace(
+            make, seed=7,
+            node_mtbf=0.0, pilot_mtbf=0.0, max_pilot_resubmits=0,
+            retry_policy=None,
+        )
+        assert plain == disabled
+
+    def test_retry_policy_alone_changes_nothing(self):
+        """An armed policy with no faults to absorb must leave no trace."""
+        make = lambda: SleepEE(ensemble_size=32, iterations=2)
+        plain = trace(make, seed=3)
+        with_policy = trace(
+            make, seed=3,
+            retry_policy=RetryPolicy(max_attempts=5, backoff_base=3.0),
+        )
+        assert plain == with_policy
+
+    def test_no_fault_events_when_disabled(self):
+        events = trace(lambda: SleepSAL(2, 16), seed=1)
+        names = {ev.name for ev in events}
+        assert not names & {
+            "node_fail", "node_repair", "unit_node_kill", "unit_pilot_kill",
+            "unit_requeue", "pilot_fault", "pilot_resubmit", "agent_suspend",
+            "agent_abort", "task_fault", "entk_task_retry",
+        }

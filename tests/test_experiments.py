@@ -83,3 +83,16 @@ class TestDeterminism:
 def test_ablation_fault_resilience_small():
     result = ablations.fault_resilience(fault_rates=(0.0, 0.2), ntasks=16)
     assert_claims(result)
+
+
+def test_ablation_node_faults_small():
+    from repro.experiments.fault_ablation import fault_ablation
+
+    result = fault_ablation(node_mtbfs=(0.0, 150.0), ntasks=32, cores=64)
+    assert_claims(result)
+    # One baseline row plus one faulted row per policy, all complete.
+    assert len(result.rows) == 3
+    assert {row["policy"] for row in result.rows} == {"-", "eager", "backoff"}
+    assert all(row["completed"] == 32 for row in result.rows)
+    faulted = [row for row in result.rows if row["node_mtbf_s"] > 0]
+    assert all(row["inflation"] >= 1.0 for row in faulted)
