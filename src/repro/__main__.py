@@ -11,6 +11,8 @@ Commands
                          fault_resilience, fault_ablation)
 ``plan``                 ask the execution-strategy layer where to run a
                          workload (``--ntasks --seconds --objective``)
+``lint``                 run the repro.lint static-analysis pass
+                         (determinism, dataclass, state-machine, event rules)
 """
 
 from __future__ import annotations
@@ -101,30 +103,59 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro", description="Ensemble Toolkit reproduction CLI"
+        prog="repro",
+        description="Ensemble Toolkit reproduction CLI",
+        epilog="run `repro <command> --help` for per-command options",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("platforms", help="list platform profiles").set_defaults(
-        fn=cmd_platforms
-    )
-    sub.add_parser("kernels", help="list kernel plugins").set_defaults(
-        fn=cmd_kernels
+    sub = parser.add_subparsers(
+        dest="command", required=True, metavar="command",
+        title="commands",
     )
 
-    figure = sub.add_parser("figure", help="rerun one paper figure")
+    sub.add_parser(
+        "platforms", help="list the simulated platform profiles"
+    ).set_defaults(fn=cmd_platforms)
+    sub.add_parser(
+        "kernels", help="list the registered kernel plugins"
+    ).set_defaults(fn=cmd_kernels)
+
+    figure = sub.add_parser(
+        "figure", help="rerun one paper figure (fig3 .. fig9)"
+    )
     figure.add_argument("figure", help="fig3 .. fig9")
     figure.add_argument("--small", action="store_true",
                         help="reduced parameters for a quick run")
     figure.set_defaults(fn=cmd_figure)
 
-    ablation = sub.add_parser("ablation", help="run one ablation")
+    ablation = sub.add_parser(
+        "ablation",
+        help="run one ablation (pilot_vs_batch, scheduler_policy, "
+             "overhead_scaling, fault_resilience, fault_ablation)",
+    )
     ablation.add_argument("name")
     ablation.set_defaults(fn=cmd_ablation)
 
-    plan = sub.add_parser("plan", help="resource selection for a workload")
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: determinism (DET), dataclass (DC), "
+             "state-machine (SM) and event-callback (EVT) rules",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(fn=cmd_lint)
+
+    plan = sub.add_parser(
+        "plan", help="resource selection for a workload (execution strategy)"
+    )
     plan.add_argument("--ntasks", type=int, required=True)
     plan.add_argument("--seconds", type=float, required=True,
                       help="single-core seconds per task")

@@ -1,0 +1,77 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file mapping a line-independent finding key (see
+:attr:`repro.lint.model.Finding.baseline_key`) to an allowed *count*.  A run
+suppresses up to that many matching findings; anything beyond the count — a
+new instance of an old problem — is reported.  Fixing a grandfathered finding
+never breaks the build (stale allowances are reported separately so they can
+be pruned with ``--write-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.model import Finding
+
+__all__ = ["Baseline", "apply_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """Allowed finding counts, loaded from / saved to JSON."""
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts: dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        counts = data.get("findings", {})
+        if not all(isinstance(v, int) and v > 0 for v in counts.values()):
+            raise ValueError(f"corrupt baseline counts in {path}")
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(f.baseline_key for f in findings))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Grandfathered repro.lint findings. Regenerate with "
+                "`python -m repro lint --write-baseline`; shrink, never grow."
+            ),
+            "findings": dict(sorted(self.counts.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], dict[str, int]]:
+    """Split *findings* into (new, grandfathered) and report stale allowances.
+
+    Findings are matched oldest-line-first so the reported "new" instances
+    are the ones furthest from the grandfathered code.
+    """
+    remaining = dict(baseline.counts)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in sorted(findings):
+        key = finding.baseline_key
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    stale = {k: v for k, v in remaining.items() if v > 0}
+    return new, old, stale

@@ -1,0 +1,135 @@
+"""``python -m repro lint`` — the CLI front end of the analysis pass.
+
+Exit codes: 0 clean (all findings fixed, baselined or suppressed), 1 new
+findings, 2 usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, find_pyproject, load_config
+from repro.lint.engine import lint_paths
+from repro.lint.registry import rule_catalogue
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: [tool.repro.lint] paths)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="rule id or family prefix to enable (repeatable; overrides config)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file of grandfathered findings (overrides config)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any configured baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.repro.lint] in pyproject.toml",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="append a per-rule finding count to the text report",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id, summary in rule_catalogue():
+            print(f"{rule_id:<8} {summary}")
+        return 0
+
+    if args.no_config:
+        config = LintConfig()
+    else:
+        try:
+            config = load_config(find_pyproject(Path.cwd()))
+        except ValueError as exc:
+            print(f"repro lint: bad configuration: {exc}", file=sys.stderr)
+            return 2
+    if args.select:
+        config.select = args.select
+    if args.baseline:
+        config.baseline = args.baseline
+        config.root = Path.cwd() if args.no_config else config.root
+    if args.no_baseline:
+        config.baseline = None
+
+    paths = [Path(p) for p in (args.paths or config.paths)]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    baseline_path = config.baseline_path()
+    if args.write_baseline:
+        if baseline_path is None:
+            print(
+                "repro lint: --write-baseline needs a baseline path "
+                "(--baseline or [tool.repro.lint] baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        result = lint_paths(paths, config, baseline=None)
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    baseline = None
+    if baseline_path is not None:
+        if not baseline_path.is_file():
+            print(
+                f"repro lint: baseline file not found: {baseline_path}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"repro lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+
+    result = lint_paths(paths, config, baseline=baseline)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1

@@ -1,0 +1,94 @@
+"""Per-file analysis context shared by every rule.
+
+Parsing, line splitting and import resolution happen once per file here, so
+individual rules stay small AST visitors.  The :class:`ImportMap` answers the
+question every determinism rule asks — "what fully-qualified name does this
+call refer to?" — by tracking ``import x``, ``import x as y`` and
+``from x import y [as z]`` bindings at any nesting level.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["FileContext", "ImportMap", "build_context"]
+
+
+class ImportMap:
+    """Local name -> fully-qualified dotted path, from a module's imports."""
+
+    def __init__(self) -> None:
+        self._names: dict[str, str] = {}
+
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds the
+                    # full path to `c`.
+                    target = alias.name if alias.asname else local
+                    self._names[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: package-local, never stdlib
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._names[local] = f"{module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted path of a Name/Attribute chain, or ``None``.
+
+        ``np.random.seed`` with ``import numpy as np`` resolves to
+        ``"numpy.random.seed"``.  Chains rooted in calls or subscripts are
+        not resolvable and return ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = self._names.get(parts[0])
+        if root is not None:
+            parts[0] = root
+        return ".".join(parts)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyse one file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    imports: ImportMap = field(default_factory=ImportMap)
+
+    def line_text(self, lineno: int) -> str:
+        """Physical source line (1-based); empty string when out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def build_context(source: str, path: Path, relpath: str) -> FileContext:
+    """Parse *source* and assemble the shared context (raises SyntaxError)."""
+    tree = ast.parse(source, filename=relpath)
+    ctx = FileContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    ctx.imports.collect(tree)
+    return ctx

@@ -1,0 +1,75 @@
+"""Rule registry.
+
+Rules are *classes* registered by id; the engine instantiates a fresh set per
+run so rules may accumulate cross-file state for their :meth:`Rule.finalize`
+pass (the SM coverage rule does) without leaking between runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, Type
+
+from repro.lint.context import FileContext
+from repro.lint.model import Finding
+
+__all__ = ["Rule", "register_rule", "all_rule_classes", "instantiate_rules", "rule_catalogue"]
+
+_RULES: dict[str, Type["Rule"]] = {}
+
+
+class Rule(abc.ABC):
+    """One lint rule; subclass, set ``id``/``summary``, implement ``check``."""
+
+    #: Unique id, family prefix + number, e.g. ``"DET001"``.
+    id: str = ""
+    #: One-line description for ``--list-rules`` and the docs.
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+
+    def finalize(self) -> Iterator[Finding]:
+        """Yield project-level findings after every file was checked."""
+        return iter(())
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *cls* to the registry (id must be unique)."""
+    if not cls.id:
+        raise ValueError(f"rule class {cls.__name__} has no id")
+    if cls.id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package registers every built-in rule.
+    from repro.lint import rules  # noqa: F401  (import for side effect)
+
+
+def all_rule_classes() -> dict[str, Type[Rule]]:
+    _ensure_loaded()
+    return dict(sorted(_RULES.items()))
+
+
+def instantiate_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Fresh rule instances whose id matches a *select* prefix.
+
+    ``select`` entries match whole ids (``"DET001"``) or family prefixes
+    (``"DET"``).  ``None`` selects everything.
+    """
+    classes = all_rule_classes()
+    chosen = []
+    prefixes = list(select) if select is not None else None
+    for rule_id, cls in classes.items():
+        if prefixes is None or any(rule_id.startswith(p) for p in prefixes):
+            chosen.append(cls())
+    return chosen
+
+
+def rule_catalogue() -> list[tuple[str, str]]:
+    """(id, summary) for every registered rule, sorted by id."""
+    return [(rid, cls.summary) for rid, cls in all_rule_classes().items()]

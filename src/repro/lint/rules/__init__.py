@@ -1,0 +1,16 @@
+"""Built-in rule families.
+
+Importing this package registers every rule with
+:mod:`repro.lint.registry`.  Families:
+
+* ``DET`` — determinism hazards (wall clock, global RNG, entropy, hash-order
+  iteration);
+* ``DC``  — dataclass field discipline;
+* ``SM``  — state-machine conformance against the edge tables in
+  :mod:`repro.pilot.states`;
+* ``EVT`` — event-callback hygiene.
+"""
+
+from repro.lint.rules import dc, det, evt, sm  # noqa: F401  (register rules)
+
+__all__ = ["dc", "det", "evt", "sm"]

@@ -1,0 +1,121 @@
+"""DC — dataclass field-discipline rules.
+
+PR 1 shipped (and had to hot-fix) a ``FaultModel._rng`` attribute that was
+assigned inside methods but never declared as a field: invisible to
+``repr``/``eq``, broken under ``frozen=True``, and surprising to every
+reader of the class header.  DC001 catches that class of bug statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.model import Finding
+from repro.lint.registry import Rule, register_rule
+
+__all__ = ["UndeclaredDataclassFieldRule"]
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id == "dataclass"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return False
+
+
+def _declared_names(cls: ast.ClassDef) -> set[str]:
+    """Class-level annotated names (fields and ClassVars) plus plain assigns."""
+    names: set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _self_name(fn: ast.FunctionDef) -> str | None:
+    args = fn.args.posonlyargs + fn.args.args
+    if not args:
+        return None
+    decorators = {
+        d.id for d in fn.decorator_list if isinstance(d, ast.Name)
+    }
+    if "staticmethod" in decorators or "classmethod" in decorators:
+        return None
+    return args[0].arg
+
+
+@register_rule
+class UndeclaredDataclassFieldRule(Rule):
+    id = "DC001"
+    summary = "attribute assigned in a @dataclass method but never declared"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not any(_is_dataclass_decorator(d) for d in cls.decorator_list):
+                continue
+            declared = _declared_names(cls)
+            reported: set[str] = set()
+            for fn in cls.body:
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                self_name = _self_name(fn)
+                if self_name is None:
+                    continue
+                for node in ast.walk(fn):
+                    target: ast.expr | None = None
+                    if isinstance(node, ast.Assign):
+                        for t in node.targets:
+                            yield from self._check_target(
+                                ctx, cls, t, self_name, declared, reported
+                            )
+                        continue
+                    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                        target = node.target
+                    if target is not None:
+                        yield from self._check_target(
+                            ctx, cls, target, self_name, declared, reported
+                        )
+
+    def _check_target(
+        self,
+        ctx: FileContext,
+        cls: ast.ClassDef,
+        target: ast.expr,
+        self_name: str,
+        declared: set[str],
+        reported: set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(target, ast.Tuple):
+            for elt in target.elts:
+                yield from self._check_target(
+                    ctx, cls, elt, self_name, declared, reported
+                )
+            return
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == self_name
+        ):
+            return
+        attr = target.attr
+        if attr in declared or attr in reported or attr.startswith("__"):
+            return
+        reported.add(attr)
+        yield Finding(
+            ctx.relpath,
+            target.lineno,
+            target.col_offset,
+            self.id,
+            f"dataclass {cls.name} assigns undeclared attribute self.{attr}",
+            hint="declare it: `%s: T = field(init=False, ...)`" % attr,
+        )

@@ -1,0 +1,207 @@
+"""DET — determinism-hazard rules.
+
+Every figure in this reproduction is only comparable across runs because the
+simulator is bit-deterministic under a seed.  These rules catch the ways that
+property silently erodes: wall-clock reads, global RNG state, OS entropy, and
+iteration over hash-ordered collections.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.model import Finding
+from repro.lint.registry import Rule, register_rule
+
+__all__ = [
+    "WallClockRule",
+    "GlobalRandomRule",
+    "EntropySourceRule",
+    "UnorderedIterationRule",
+]
+
+# Calls that read the machine's clock.  The sanctioned path is the injected
+# `repro.utils.timing.Clock` (WallClock locally, VirtualClock under the DES).
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+# numpy.random attributes that do NOT touch the module-global RandomState.
+_NUMPY_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",  # a *seeded instance* is injectable; the global fns are not
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+# stdlib random attributes that construct an injectable generator rather than
+# drawing from (or reseeding) the hidden module-global Random instance.
+_STDLIB_RANDOM_OK = frozenset({"Random"})
+
+_ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.SystemRandom",
+    }
+)
+
+
+def _iter_calls(ctx: FileContext) -> Iterator[tuple[ast.Call, str]]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            dotted = ctx.imports.resolve(node.func)
+            if dotted:
+                yield node, dotted
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "DET001"
+    summary = "wall-clock read; time must come from the injected Clock"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, dotted in _iter_calls(ctx):
+            if dotted in _WALL_CLOCK_CALLS:
+                yield Finding(
+                    ctx.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    self.id,
+                    f"wall-clock call {dotted}()",
+                    hint="read time via repro.utils.timing.Clock",
+                )
+
+
+@register_rule
+class GlobalRandomRule(Rule):
+    id = "DET002"
+    summary = "global RNG state; randomness must come from injected streams"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, dotted in _iter_calls(ctx):
+            if dotted.startswith("random."):
+                attr = dotted.split(".", 1)[1]
+                if "." not in attr and attr not in _STDLIB_RANDOM_OK | {
+                    "SystemRandom"  # reported by DET003, not here
+                }:
+                    yield Finding(
+                        ctx.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.id,
+                        f"global stdlib RNG call {dotted}()",
+                        hint="draw from a repro.eventsim.RandomStreams stream",
+                    )
+            elif dotted.startswith("numpy.random."):
+                attr = dotted.split("numpy.random.", 1)[1]
+                if "." not in attr and attr not in _NUMPY_RANDOM_OK:
+                    yield Finding(
+                        ctx.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.id,
+                        f"numpy global RNG call {dotted}()",
+                        hint="use numpy.random.default_rng or RandomStreams",
+                    )
+
+
+@register_rule
+class EntropySourceRule(Rule):
+    id = "DET003"
+    summary = "OS entropy source; ids and draws must be seed-derived"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, dotted in _iter_calls(ctx):
+            if dotted in _ENTROPY_CALLS or dotted.startswith("secrets."):
+                yield Finding(
+                    ctx.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    self.id,
+                    f"OS entropy call {dotted}()",
+                    hint="use repro.utils.ids.generate_id or a seeded stream",
+                )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Syntactically a set: literal, comprehension, set()/frozenset() call,
+    or a set-algebra method call (.union/.intersection/...)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return True
+    return False
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    id = "DET004"
+    summary = "iteration over a set in hash order; wrap in sorted(...)"
+
+    _MESSAGE = "iteration over a set expression in hash order"
+    _HINT = "wrap in sorted(...) before iterating"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield self._finding(ctx, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield self._finding(ctx, gen.iter)
+            elif isinstance(node, ast.Call):
+                # Order-sensitive consumers materialising a set directly.
+                if isinstance(node.func, ast.Name) and node.func.id in (
+                    "list",
+                    "tuple",
+                    "enumerate",
+                ):
+                    for arg in node.args[:1]:
+                        if _is_set_expr(arg):
+                            yield self._finding(ctx, arg)
+
+    def _finding(self, ctx: FileContext, node: ast.expr) -> Finding:
+        return Finding(
+            ctx.relpath,
+            node.lineno,
+            node.col_offset,
+            self.id,
+            self._MESSAGE,
+            hint=self._HINT,
+        )

@@ -1,0 +1,127 @@
+"""EVT — event-callback hygiene rules.
+
+Callbacks handed to :meth:`repro.eventsim.Simulator.schedule` outlive the
+statement that created them.  A lambda that closes over a loop variable sees
+the variable's *final* value when the event fires — the classic late-binding
+bug, which in a DES silently rewires events to the wrong node/unit.  The
+sanctioned idiom binds at definition time: ``lambda n=node: self._fail(n)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.model import Finding
+from repro.lint.registry import Rule, register_rule
+
+__all__ = ["LateBindingCallbackRule", "MutableDefaultRule"]
+
+_SCHEDULE_METHODS = frozenset({"schedule", "schedule_at"})
+
+
+def _lambda_free_names(node: ast.Lambda) -> set[str]:
+    params = {a.arg for a in (
+        node.args.posonlyargs
+        + node.args.args
+        + node.args.kwonlyargs
+        + ([node.args.vararg] if node.args.vararg else [])
+        + ([node.args.kwarg] if node.args.kwarg else [])
+    )}
+    loads: set[str] = set()
+    for sub in ast.walk(node.body):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            loads.add(sub.id)
+    return loads - params
+
+
+def _loop_targets(node: ast.expr | ast.stmt) -> set[str]:
+    names: set[str] = set()
+    targets: list[ast.expr] = []
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        targets.append(node.target)
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        targets.extend(gen.target for gen in node.generators)
+    for target in targets:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id)
+    return names
+
+
+@register_rule
+class LateBindingCallbackRule(Rule):
+    id = "EVT001"
+    summary = "schedule() lambda captures a loop variable without binding it"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._visit(ctx, ctx.tree, frozenset())
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, loop_vars: frozenset[str]
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_vars = loop_vars | frozenset(_loop_targets(child)) if isinstance(
+                child,
+                (ast.For, ast.AsyncFor, ast.ListComp, ast.SetComp, ast.DictComp,
+                 ast.GeneratorExp),
+            ) else loop_vars
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _SCHEDULE_METHODS
+            ):
+                for arg in list(child.args) + [kw.value for kw in child.keywords]:
+                    if isinstance(arg, ast.Lambda):
+                        captured = sorted(_lambda_free_names(arg) & child_vars)
+                        for name in captured:
+                            yield Finding(
+                                ctx.relpath,
+                                arg.lineno,
+                                arg.col_offset,
+                                self.id,
+                                f"callback lambda captures loop variable "
+                                f"{name!r} by reference (late binding)",
+                                hint=f"bind at definition: `lambda {name}={name}: ...`",
+                            )
+            yield from self._visit(ctx, child, child_vars)
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    id = "EVT002"
+    summary = "mutable default argument shared across calls"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield Finding(
+                        ctx.relpath,
+                        default.lineno,
+                        default.col_offset,
+                        self.id,
+                        f"mutable default argument in {label}()",
+                        hint="default to None (or field(default_factory=...))",
+                    )

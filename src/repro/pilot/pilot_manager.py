@@ -98,7 +98,13 @@ class PilotManager:
         def on_job_state(job, state: JobState) -> None:
             if pilot.state.is_final:
                 return
-            if state is JobState.FAILED:
+            if state is JobState.DONE:
+                # Container job ended normally (modelled duration elapsed):
+                # the allocation is gone, the pilot is done — not failed.
+                self._disarm_pilot_fault(pilot)
+                pilot.agent.stop()
+                pilot.advance(PilotState.DONE)
+            elif state is JobState.FAILED:
                 self._disarm_pilot_fault(pilot)
                 if pilot.resubmits < self.session.max_pilot_resubmits:
                     self._resubmit_sim(pilot, service)
@@ -177,6 +183,15 @@ class PilotManager:
             pilot.agent.start()
             pilot._final_event.wait(timeout=pilot.description.runtime * 60.0)
 
+        def on_job_state(job, state: JobState) -> None:
+            # Walltime expiry with the pilot still ACTIVE is a normal end of
+            # allocation: the pilot is DONE, not CANCELED/FAILED.
+            if pilot.state.is_final:
+                return
+            if state is JobState.DONE:
+                pilot.agent.stop()
+                pilot.advance(PilotState.DONE)
+
         job = service.create_job(
             JobDescription(
                 name=pilot.uid,
@@ -186,6 +201,7 @@ class PilotManager:
                 payload=payload,
             )
         )
+        job.add_callback(on_job_state)
         pilot.saga_job = job
         pilot.advance(PilotState.PENDING)
         job.run()

@@ -1,0 +1,198 @@
+"""Engine-level tests: discovery, baseline mechanics, config parsing."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, Finding, LintConfig, lint_paths, rule_catalogue
+from repro.lint.baseline import apply_baseline
+from repro.lint.config import _fallback_parse, find_pyproject, load_config
+from repro.lint.engine import iter_python_files
+
+
+def _write(path, source):
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+# -- file discovery -----------------------------------------------------------
+
+
+def test_iter_python_files_is_sorted_and_deduplicated(tmp_path):
+    (tmp_path / "b.py").write_text("")
+    (tmp_path / "a.py").write_text("")
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    (sub / "c.py").write_text("")
+    (sub / "notes.txt").write_text("")
+    files = iter_python_files([tmp_path, sub, sub / "c.py"], [], tmp_path)
+    assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+
+def test_iter_python_files_honours_exclude(tmp_path):
+    (tmp_path / "keep.py").write_text("")
+    skip = tmp_path / "skip"
+    skip.mkdir()
+    (skip / "gone.py").write_text("")
+    files = iter_python_files([tmp_path], ["skip"], tmp_path)
+    assert [f.name for f in files] == ["keep.py"]
+
+
+def test_unparsable_file_becomes_lint001_finding(tmp_path):
+    _write(tmp_path / "broken.py", "def oops(:\n")
+    result = lint_paths([tmp_path], LintConfig(root=tmp_path))
+    assert [f.rule_id for f in result.findings] == ["LINT001"]
+    assert result.files_scanned == 0
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def _finding(line=3, message="wall-clock call time.time()"):
+    return Finding("pkg/mod.py", line, 0, "DET001", message)
+
+
+def test_apply_baseline_splits_new_from_grandfathered():
+    findings = [_finding(line=3), _finding(line=9)]
+    baseline = Baseline({_finding().baseline_key: 1})
+    new, old, stale = apply_baseline(findings, baseline)
+    assert [f.line for f in old] == [3]
+    assert [f.line for f in new] == [9]
+    assert stale == {}
+
+
+def test_apply_baseline_reports_stale_allowances():
+    baseline = Baseline({_finding().baseline_key: 2})
+    new, old, stale = apply_baseline([], baseline)
+    assert new == [] and old == []
+    assert stale == {_finding().baseline_key: 2}
+
+
+def test_baseline_round_trip(tmp_path):
+    baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.counts == {_finding().baseline_key: 2}
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_lint_paths_with_baseline_grandfathers_counts(tmp_path):
+    mod = _write(
+        tmp_path / "mod.py",
+        """
+        import time
+        def a():
+            return time.time()
+        def b():
+            return time.time()
+        """,
+    )
+    config = LintConfig(root=tmp_path)
+    first = lint_paths([mod], config)
+    assert len(first.findings) == 2
+    baseline = Baseline.from_findings(first.findings)
+    # Unchanged tree: everything grandfathered.
+    again = lint_paths([mod], config, baseline=baseline)
+    assert again.ok and len(again.grandfathered) == 2
+    # A *third* instance of the same hazard is new.
+    _write(
+        tmp_path / "mod.py",
+        """
+        import time
+        def a():
+            return time.time()
+        def b():
+            return time.time()
+        def c():
+            return time.time()
+        """,
+    )
+    grown = lint_paths([mod], config, baseline=baseline)
+    assert len(grown.findings) == 1 and len(grown.grandfathered) == 2
+
+
+# -- config -------------------------------------------------------------------
+
+_SECTION = """
+[project]
+name = "whatever"
+
+[tool.repro.lint]
+paths = ["src/pkg"]
+select = ["DET", "SM002"]
+exclude = ["src/pkg/vendored"]
+baseline = "lint-baseline.json"
+"""
+
+
+def test_load_config_reads_section(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(_SECTION)
+    config = load_config(pyproject)
+    assert config.paths == ["src/pkg"]
+    assert config.select == ["DET", "SM002"]
+    assert config.exclude == ["src/pkg/vendored"]
+    assert config.baseline == "lint-baseline.json"
+    assert config.baseline_path() == tmp_path / "lint-baseline.json"
+
+
+def test_load_config_defaults_when_section_absent(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[project]\nname = 'x'\n")
+    config = load_config(pyproject)
+    assert config.select is None and config.baseline is None
+
+
+def test_load_config_rejects_bad_types(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.repro.lint]\nselect = 'DET'\n")
+    with pytest.raises(ValueError, match="select"):
+        load_config(pyproject)
+
+
+def test_fallback_parser_matches_tomllib_subset():
+    # The 3.10 path (no tomllib in the CI image) must agree with tomllib.
+    parsed = _fallback_parse(_SECTION)
+    assert parsed == {
+        "paths": ["src/pkg"],
+        "select": ["DET", "SM002"],
+        "exclude": ["src/pkg/vendored"],
+        "baseline": "lint-baseline.json",
+    }
+
+
+def test_fallback_parser_ignores_other_sections_and_comments():
+    parsed = _fallback_parse(
+        "[tool.other]\npaths = [\"nope\"]\n"
+        "[tool.repro.lint]\n# a comment\nbaseline = \"b.json\"  # trailing\n"
+        "[tool.more]\nbaseline = \"nope\"\n"
+    )
+    assert parsed == {"baseline": "b.json"}
+
+
+def test_find_pyproject_walks_upward(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_rule_catalogue_covers_all_families():
+    ids = [rule_id for rule_id, _ in rule_catalogue()]
+    assert ids == sorted(ids)
+    for family in ("DET", "DC", "SM", "EVT"):
+        assert any(rule_id.startswith(family) for rule_id in ids)
+    assert all(summary for _, summary in rule_catalogue())

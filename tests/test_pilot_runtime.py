@@ -159,6 +159,24 @@ class TestLocalRuntime:
         assert any(u.state is UnitState.CANCELED for u in units)
         session.close()
 
+    def test_walltime_expiry_marks_pilot_done(self):
+        # Regression for the SM004 lint finding: a container job ending
+        # normally must land the pilot in DONE, not leave it ACTIVE.
+        session = Session(mode="local")
+        pmgr = PilotManager(session)
+        pilot = pmgr.submit_pilots(
+            ComputePilotDescription(
+                resource="local.localhost", cores=2, runtime=0.002, mode="local"
+            )
+        )[0]
+        pmgr.wait_pilots_active(timeout=30)
+        pilot.saga_job.wait(timeout=30)
+        assert pilot.state is PilotState.DONE
+        # Teardown is a no-op on an already-final pilot.
+        pmgr.cancel_pilots()
+        assert pilot.state is PilotState.DONE
+        session.close()
+
 
 class TestSimRuntime:
     def test_waves_on_undersized_pilot(self):
