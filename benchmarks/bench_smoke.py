@@ -1,0 +1,194 @@
+"""Reduced micro-benchmark smoke run: seeds the perf trajectory.
+
+Runs shrunken versions of the ``bench_runtime_micro.py`` cases without
+needing pytest-benchmark and emits ``BENCH_micro.json`` — one record per
+case::
+
+    {"bench": <name>, "config": {...}, "wall_s": <float>, "sim_ttc_s": <float>}
+
+``wall_s`` is this machine's wall time (informational, machine-dependent);
+``sim_ttc_s`` is the *virtual* outcome of the same run, which is a pure
+function of (workload, seed) and therefore must match the committed
+baseline bit-for-bit on every machine.  ``--check`` verifies exactly that,
+giving CI a cheap end-to-end regression gate over the DES, the pilot
+state model, the batch queue and the pattern layer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py -o BENCH_micro.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py --check BENCH_micro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.utils.ids import reset_id_counters
+
+
+def bench_des_event_throughput() -> tuple[dict, float]:
+    from repro.eventsim import Simulator
+
+    n = 5000
+    sim = Simulator()
+    for i in range(n):
+        sim.schedule(float(i % 97), lambda: None)
+    sim.run()
+    assert sim.events_processed == n
+    return {"events": n}, sim.now
+
+
+def bench_pilot_unit_churn() -> tuple[dict, float]:
+    from repro.pilot import (
+        ComputePilotDescription,
+        ComputeUnitDescription,
+        PilotManager,
+        Session,
+        UnitManager,
+    )
+
+    n, cores = 200, 128
+    session = Session(mode="sim", platform="xsede.stampede")
+    pmgr = PilotManager(session)
+    pilot = pmgr.submit_pilots(
+        ComputePilotDescription(
+            resource="xsede.stampede", cores=cores, runtime=600, mode="sim"
+        )
+    )[0]
+    umgr = UnitManager(session)
+    umgr.add_pilots(pilot)
+    units = umgr.submit_units(
+        [
+            ComputeUnitDescription(executable="t", modelled_duration=10.0)
+            for _ in range(n)
+        ]
+    )
+    umgr.wait_units()
+    ttc = session.now()
+    pmgr.cancel_pilots()
+    session.close()
+    assert sum(u.state.value == "DONE" for u in units) == n
+    return {"units": n, "cores": cores}, ttc
+
+
+def bench_batch_scheduler_placement() -> tuple[dict, float]:
+    from repro.cluster.batch import BatchScheduler
+    from repro.cluster.job import BatchJob
+    from repro.cluster.platforms import get_platform
+    from repro.eventsim import Simulator
+
+    n = 300
+    sim = Simulator()
+    scheduler = BatchScheduler(sim, get_platform("xsede.comet"))
+    jobs = [
+        BatchJob(nodes=1 + (i % 8), walltime=3600.0, duration=60.0 + i % 50)
+        for i in range(n)
+    ]
+    for job in jobs:
+        scheduler.submit(job)
+    sim.run()
+    assert sum(j.state.value == "COMPLETED" for j in jobs) == n
+    return {"jobs": n}, sim.now
+
+
+def bench_pattern_eop() -> tuple[dict, float]:
+    from repro.core.kernel_plugin import Kernel
+    from repro.core.patterns import EnsembleOfPipelines
+    from repro.core.profiler import breakdown_from_profile
+    from repro.core.resource_handle import ResourceHandle
+
+    class EoP(EnsembleOfPipelines):
+        def stage_1(self, instance):
+            kernel = Kernel(name="misc.sleep")
+            kernel.arguments = ["--duration=40"]
+            return kernel
+
+        def stage_2(self, instance):
+            kernel = Kernel(name="misc.sleep")
+            kernel.arguments = ["--duration=20"]
+            return kernel
+
+    size, cores = 16, 16
+    pattern = EoP(ensemble_size=size, pipeline_size=2)
+    handle = ResourceHandle(
+        "xsede.comet", cores=cores, walltime=600, mode="sim", seed=0
+    )
+    handle.allocate()
+    try:
+        handle.run(pattern)
+    finally:
+        handle.deallocate()
+    breakdown = breakdown_from_profile(handle.profile, pattern)
+    return {"ensemble_size": size, "cores": cores}, breakdown.ttc
+
+
+CASES = [
+    ("des_event_throughput", bench_des_event_throughput),
+    ("pilot_unit_churn", bench_pilot_unit_churn),
+    ("batch_scheduler_placement", bench_batch_scheduler_placement),
+    ("pattern_eop", bench_pattern_eop),
+]
+
+
+def run_cases() -> list[dict]:
+    records = []
+    for name, fn in CASES:
+        reset_id_counters()
+        t0 = time.perf_counter()
+        config, sim_ttc = fn()
+        wall = time.perf_counter() - t0
+        records.append(
+            {
+                "bench": name,
+                "config": config,
+                "wall_s": round(wall, 4),
+                "sim_ttc_s": sim_ttc,
+            }
+        )
+        print(f"{name:<28} wall {wall:8.3f} s   sim ttc {sim_ttc:12.3f} s")
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default=None,
+                        help="write BENCH_micro.json records here")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare sim_ttc_s against a committed baseline")
+    args = parser.parse_args(argv)
+
+    records = run_cases()
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(records, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        baseline = {
+            rec["bench"]: rec for rec in json.loads(Path(args.check).read_text())
+        }
+        failures = []
+        for rec in records:
+            expect = baseline.get(rec["bench"])
+            if expect is None:
+                failures.append(f"{rec['bench']}: not in baseline")
+            elif expect["sim_ttc_s"] != rec["sim_ttc_s"]:
+                failures.append(
+                    f"{rec['bench']}: sim_ttc_s {rec['sim_ttc_s']!r} != "
+                    f"baseline {expect['sim_ttc_s']!r}"
+                )
+        if failures:
+            print("bench-smoke determinism check FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"determinism check OK ({len(records)} cases match baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

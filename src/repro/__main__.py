@@ -13,6 +13,8 @@ Commands
                          workload (``--ntasks --seconds --objective``)
 ``lint``                 run the repro.lint static-analysis pass
                          (determinism, dataclass, state-machine, event rules)
+``trace``                inspect a JSONL trace dump: summarize, export
+                         Chrome trace JSON (Perfetto), critical-path
 """
 
 from __future__ import annotations
@@ -55,6 +57,7 @@ _SMALL_FIGURE_KWARGS = {
 
 def cmd_figure(args) -> int:
     from repro import experiments
+    from repro.experiments import harness
 
     name = args.figure
     if name not in _SMALL_FIGURE_KWARGS:
@@ -63,7 +66,12 @@ def cmd_figure(args) -> int:
         return 2
     module = getattr(experiments, name)
     kwargs = _SMALL_FIGURE_KWARGS[name] if args.small else {}
-    result = module.run(**kwargs)
+    if args.trace_out:
+        harness.set_trace_out(args.trace_out)
+    try:
+        result = module.run(**kwargs)
+    finally:
+        harness.set_trace_out(None)
     result.print_report()
     return 0 if result.all_claims_hold else 1
 
@@ -109,6 +117,12 @@ def cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def cmd_trace(args) -> int:
+    from repro.telemetry.cli import run_trace
+
+    return run_trace(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -133,6 +147,8 @@ def main(argv: list[str] | None = None) -> int:
     figure.add_argument("figure", help="fig3 .. fig9")
     figure.add_argument("--small", action="store_true",
                         help="reduced parameters for a quick run")
+    figure.add_argument("--trace-out", metavar="DIR", default=None,
+                        help="dump a Chrome trace per run into DIR")
     figure.set_defaults(fn=cmd_figure)
 
     ablation = sub.add_parser(
@@ -152,6 +168,16 @@ def main(argv: list[str] | None = None) -> int:
 
     add_lint_arguments(lint)
     lint.set_defaults(fn=cmd_lint)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a JSONL trace dump: summarize / export (Chrome "
+             "trace JSON for Perfetto) / critical-path",
+    )
+    from repro.telemetry.cli import add_trace_arguments
+
+    add_trace_arguments(trace)
+    trace.set_defaults(fn=cmd_trace)
 
     plan = sub.add_parser(
         "plan", help="resource selection for a workload (execution strategy)"

@@ -136,40 +136,43 @@ class PatternDriver(abc.ABC):
         if not requests:
             return []
         prof = self.session.prof
-        prof.event(
-            "entk_stage_create_start", self.pattern.uid, n=len(requests)
-        )
-        descriptions = []
-        for request in requests:
-            kernel = request.kernel
-            kernel.link_input_data = [
-                self._resolve(entry, request.placeholders)
-                for entry in kernel.link_input_data
-            ]
-            kernel.copy_input_data = [
-                self._resolve(entry, request.placeholders)
-                for entry in kernel.copy_input_data
-            ]
-            description = kernel.bind(self.handle.resource, self.handle.platform)
-            description.tags.update(request.tags)
-            description.tags.setdefault("pattern", self.pattern.uid)
-            descriptions.append(description)
-        prof.event("entk_stage_create_stop", self.pattern.uid, n=len(requests))
+        with self.session.tracer.span(
+            "driver.submit", self.pattern.uid, n=len(requests)
+        ):
+            prof.event(
+                "entk_stage_create_start", self.pattern.uid, n=len(requests)
+            )
+            descriptions = []
+            for request in requests:
+                kernel = request.kernel
+                kernel.link_input_data = [
+                    self._resolve(entry, request.placeholders)
+                    for entry in kernel.link_input_data
+                ]
+                kernel.copy_input_data = [
+                    self._resolve(entry, request.placeholders)
+                    for entry in kernel.copy_input_data
+                ]
+                description = kernel.bind(self.handle.resource, self.handle.platform)
+                description.tags.update(request.tags)
+                description.tags.setdefault("pattern", self.pattern.uid)
+                descriptions.append(description)
+            prof.event("entk_stage_create_stop", self.pattern.uid, n=len(requests))
 
-        # Under simulation, EnTK's client-side cost (task creation +
-        # submission marshalling, proportional to the task count) delays
-        # delivery of the batch to the agent; units are created
-        # synchronously so callers can wire placeholders immediately.
-        overhead = 0.0
-        if self.session.is_simulated:
-            overhead = self.overheads.pattern_overhead(len(requests))
-            prof.event("entk_pattern_overhead", self.pattern.uid,
-                       seconds=overhead, n=len(requests))
-        units = self.umgr.submit_units(
-            descriptions, callback=self._unit_event, extra_delay=overhead
-        )
-        with self._lock:
-            self.units.extend(units)
+            # Under simulation, EnTK's client-side cost (task creation +
+            # submission marshalling, proportional to the task count) delays
+            # delivery of the batch to the agent; units are created
+            # synchronously so callers can wire placeholders immediately.
+            overhead = 0.0
+            if self.session.is_simulated:
+                overhead = self.overheads.pattern_overhead(len(requests))
+                prof.event("entk_pattern_overhead", self.pattern.uid,
+                           seconds=overhead, n=len(requests))
+            units = self.umgr.submit_units(
+                descriptions, callback=self._unit_event, extra_delay=overhead
+            )
+            with self._lock:
+                self.units.extend(units)
         return units
 
     def queue_submission(self, request: SubmitRequest, on_submitted=None) -> None:

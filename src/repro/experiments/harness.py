@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.analytics.metrics import group_units, phase_execution_time
@@ -11,7 +12,33 @@ from repro.core.resource_handle import ResourceHandle
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.execution_pattern import ExecutionPattern
 
-__all__ = ["run_on_sim", "kernel_phase_times", "run_on_local"]
+__all__ = [
+    "run_on_sim", "kernel_phase_times", "run_on_local", "set_trace_out",
+]
+
+#: When set (``--trace-out DIR`` on the figure CLI, or
+#: :func:`set_trace_out`), every run dumps a Chrome trace of its full
+#: session next to the figure's result artifacts: ``<uid>.trace.json``.
+_TRACE_OUT: Path | None = None
+
+
+def set_trace_out(directory: str | Path | None) -> None:
+    """Dump a Chrome trace per run into *directory* (``None`` disables)."""
+    global _TRACE_OUT
+    _TRACE_OUT = None if directory is None else Path(directory)
+
+
+def _dump_trace(pattern: "ExecutionPattern", handle: ResourceHandle,
+                trace_out: str | Path | None) -> None:
+    directory = Path(trace_out) if trace_out is not None else _TRACE_OUT
+    if directory is None:
+        return
+    from repro.telemetry.export import write_chrome_trace
+
+    directory.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(
+        list(handle.profile), directory / f"{pattern.uid}.trace.json"
+    )
 
 
 def run_on_sim(
@@ -20,6 +47,7 @@ def run_on_sim(
     cores: int,
     walltime_minutes: float = 24 * 60.0,
     seed: int = 0,
+    trace_out: str | Path | None = None,
     **handle_kwargs,
 ) -> tuple["ExecutionPattern", ResourceHandle, OverheadBreakdown]:
     """Run *pattern* on a simulated platform; return it with its breakdown."""
@@ -37,6 +65,7 @@ def run_on_sim(
     finally:
         handle.deallocate()
     breakdown = breakdown_from_profile(handle.profile, pattern)
+    _dump_trace(pattern, handle, trace_out)
     return pattern, handle, breakdown
 
 
@@ -44,6 +73,7 @@ def run_on_local(
     pattern: "ExecutionPattern",
     cores: int = 4,
     walltime_minutes: float = 30.0,
+    trace_out: str | Path | None = None,
     **handle_kwargs,
 ) -> tuple["ExecutionPattern", ResourceHandle, OverheadBreakdown]:
     """Run *pattern* for real on this machine (examples and validation)."""
@@ -60,6 +90,7 @@ def run_on_local(
     finally:
         handle.deallocate()
     breakdown = breakdown_from_profile(handle.profile, pattern)
+    _dump_trace(pattern, handle, trace_out)
     return pattern, handle, breakdown
 
 

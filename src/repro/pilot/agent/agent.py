@@ -28,6 +28,7 @@ from repro.pilot.agent.slots import make_slot_scheduler
 from repro.pilot.agent.staging import LocalStager, SimStager
 from repro.pilot.faults import NodeFailure, PilotFailure
 from repro.pilot.states import UnitState
+from repro.telemetry.span import Tracer
 from repro.utils.logger import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -80,9 +81,11 @@ class Agent:
         ) = None
         self._fault_process: NodeFaultProcess | None = None
         self._launch_times: dict[str, float] = {}
+        self._tracer = getattr(session, "tracer", None) or Tracer(None)
+        self._metrics = getattr(session, "metrics", None)
 
         if session.is_simulated:
-            self.stager = SimStager(session.sim_context)
+            self.stager = SimStager(session.sim_context, tracer=self._tracer)
             self.executor: Any = SimExecutor(
                 session, evaluate_payloads=evaluate_payloads
             )
@@ -90,7 +93,7 @@ class Agent:
             pilot_sandbox: "Path" = session.sandbox / pilot.uid  # type: ignore[operator]
             pilot_sandbox.mkdir(parents=True, exist_ok=True)
             self.pilot_sandbox = pilot_sandbox
-            self.stager = LocalStager(pilot_sandbox)
+            self.stager = LocalStager(pilot_sandbox, tracer=self._tracer)
             self.executor = LocalExecutor(session, pilot.cores)
 
     # -- lifecycle ---------------------------------------------------------------
@@ -181,6 +184,10 @@ class Agent:
 
     def submit_units(self, units: list["ComputeUnit"]) -> None:
         """Accept units from the unit manager (any time after creation)."""
+        with self._tracer.span("agent.submit", self.pilot.uid, n=len(units)):
+            self._accept_units(units)
+
+    def _accept_units(self, units: list["ComputeUnit"]) -> None:
         for unit in units:
             if unit.description.cores > self.slots.total_cores:
                 unit.advance(UnitState.FAILED)
@@ -235,6 +242,17 @@ class Agent:
 
     def _reschedule(self) -> None:
         """Start every waiting unit the policy and free slots allow."""
+        with self._tracer.span("agent.schedule", self.pilot.uid):
+            self._schedule_waiting()
+        if self._metrics is not None and self._started:
+            self._metrics.gauge(
+                f"agent.{self.pilot.uid}.queue_depth", len(self._waiting)
+            )
+            self._metrics.gauge(
+                f"agent.{self.pilot.uid}.cores_held", self.slots.used_cores
+            )
+
+    def _schedule_waiting(self) -> None:
         launched: list["ComputeUnit"] = []
         unplaceable: list["ComputeUnit"] = []
         with self._lock:

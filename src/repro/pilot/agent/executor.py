@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.pilot.agent.launch_method import get_launch_method
 from repro.pilot.description import ComputeUnitDescription
 from repro.pilot.states import UnitState
+from repro.telemetry.span import Tracer
 from repro.utils.logger import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -91,6 +92,8 @@ class LocalExecutor:
             max_workers=max(total_cores, 1), thread_name_prefix="unit-exec"
         )
         self._shutdown = False
+        self._tracer = getattr(session, "tracer", None) or Tracer(None)
+        self._metrics = getattr(session, "metrics", None)
 
     def launch(self, unit: "ComputeUnit", on_done: DoneCallback) -> None:
         get_launch_method(unit.description)  # validates cores/mpi coherence
@@ -98,14 +101,22 @@ class LocalExecutor:
 
     def _run(self, unit: "ComputeUnit", on_done: DoneCallback) -> None:
         unit.advance(UnitState.EXECUTING)
+        cores = unit.description.cores
+        if self._metrics is not None and unit.pilot_uid:
+            self._metrics.adjust(f"agent.{unit.pilot_uid}.cores_busy", cores)
         try:
             result = None
             if unit.description.payload is not None:
-                result = unit.description.payload(TaskContext.for_unit(unit))
+                with self._tracer.span("exec.payload", unit.uid,
+                                       component="execution"):
+                    result = unit.description.payload(TaskContext.for_unit(unit))
         except BaseException as exc:  # noqa: BLE001 - task failure is data
             log.debug("unit %s payload failed: %r", unit.uid, exc)
             on_done(unit, False, None, exc)
             return
+        finally:
+            if self._metrics is not None and unit.pilot_uid:
+                self._metrics.adjust(f"agent.{unit.pilot_uid}.cores_busy", -cores)
         on_done(unit, True, result, None)
 
     def kill(self, unit: "ComputeUnit") -> None:
@@ -136,6 +147,21 @@ class SimExecutor:
         #: Pending launch/finish event per in-flight unit, so a node or
         #: pilot failure can kill the execution before it completes.
         self._inflight: dict[str, Any] = {}
+        self._tracer = getattr(session, "tracer", None) or Tracer(None)
+        self._metrics = getattr(session, "metrics", None)
+        #: Units whose modelled execution has started (busy-core gauge
+        #: accounting: kills must only decrement after start()).
+        self._busy: set[str] = set()
+        #: Open ``exec.launch`` span per unit not yet started, so kills
+        #: close the span at kill time instead of trace end.
+        self._launch_spans: dict[str, str] = {}
+
+    def _adjust_busy(self, unit: "ComputeUnit", delta: int) -> None:
+        if self._metrics is not None and unit.pilot_uid:
+            self._metrics.adjust(
+                f"agent.{unit.pilot_uid}.cores_busy",
+                delta * unit.description.cores,
+            )
 
     def launch(self, unit: "ComputeUnit", on_done: DoneCallback) -> None:
         method = get_launch_method(unit.description)
@@ -144,9 +170,15 @@ class SimExecutor:
         runtime = unit.description.modelled_runtime(platform) / platform.node.core_speed
         sim = self.context.sim
         fault_offset = self.session.fault_model.draw(runtime)
+        self._launch_spans[unit.uid] = self._tracer.begin(
+            "exec.launch", unit.uid
+        )
 
         def start() -> None:
+            self._tracer.end(self._launch_spans.pop(unit.uid, ""))
             unit.advance(UnitState.EXECUTING)
+            self._busy.add(unit.uid)
+            self._adjust_busy(unit, 1)
             if fault_offset is not None:
                 self._inflight[unit.uid] = sim.schedule(
                     fault_offset, fail, label=f"fault:{unit.uid}"
@@ -160,6 +192,8 @@ class SimExecutor:
             from repro.pilot.faults import TaskFault
 
             self._inflight.pop(unit.uid, None)
+            self._busy.discard(unit.uid)
+            self._adjust_busy(unit, -1)
             self.session.prof.event("task_fault", unit.uid,
                                     at=fault_offset, runtime=runtime)
             on_done(unit, False, None,
@@ -167,6 +201,8 @@ class SimExecutor:
 
         def finish() -> None:
             self._inflight.pop(unit.uid, None)
+            self._busy.discard(unit.uid)
+            self._adjust_busy(unit, -1)
             result = None
             if self.evaluate_payloads and unit.description.payload is not None:
                 try:
@@ -190,8 +226,15 @@ class SimExecutor:
         event = self._inflight.pop(unit.uid, None)
         if event is not None:
             self.context.sim.cancel(event)
+        self._tracer.end(self._launch_spans.pop(unit.uid, ""))
+        if unit.uid in self._busy:
+            self._busy.discard(unit.uid)
+            self._adjust_busy(unit, -1)
 
     def shutdown(self) -> None:  # symmetry with LocalExecutor
         for event in self._inflight.values():
             self.context.sim.cancel(event)
         self._inflight.clear()
+        for uid in sorted(self._launch_spans):
+            self._tracer.end(self._launch_spans[uid])
+        self._launch_spans.clear()

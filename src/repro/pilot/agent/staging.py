@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.exceptions import StagingError
 from repro.pilot.description import StagingDirective
+from repro.telemetry.span import Tracer
 from repro.utils.logger import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,9 +50,10 @@ def resolve_placeholders(path: str, pilot_sandbox: Path, unit_sandboxes: dict[st
 class LocalStager:
     """Real file operations between real sandboxes."""
 
-    def __init__(self, pilot_sandbox: Path) -> None:
+    def __init__(self, pilot_sandbox: Path, tracer: Tracer | None = None) -> None:
         self.pilot_sandbox = pilot_sandbox
         self.unit_sandboxes: dict[str, Path] = {}
+        self._tracer = tracer or Tracer(None)
 
     def register_unit(self, unit: "ComputeUnit") -> Path:
         """Create (and remember) the unit's sandbox directory."""
@@ -85,23 +87,28 @@ class LocalStager:
 
     def stage_in(self, unit: "ComputeUnit", done: Callable[[], None]) -> None:
         sandbox = self.unit_sandboxes[unit.uid]
-        for directive in unit.description.input_staging:
-            self._apply(directive, self.pilot_sandbox, sandbox)
+        with self._tracer.span("agent.stage_in", unit.uid,
+                               n=len(unit.description.input_staging)):
+            for directive in unit.description.input_staging:
+                self._apply(directive, self.pilot_sandbox, sandbox)
         done()
 
     def stage_out(self, unit: "ComputeUnit", done: Callable[[], None]) -> None:
         sandbox = self.unit_sandboxes[unit.uid]
-        for directive in unit.description.output_staging:
-            self._apply(directive, sandbox, self.pilot_sandbox)
+        with self._tracer.span("agent.stage_out", unit.uid,
+                               n=len(unit.description.output_staging)):
+            for directive in unit.description.output_staging:
+                self._apply(directive, sandbox, self.pilot_sandbox)
         done()
 
 
 class SimStager:
     """Charge modelled transfer time on the virtual clock."""
 
-    def __init__(self, context: "SimContext") -> None:
+    def __init__(self, context: "SimContext", tracer: Tracer | None = None) -> None:
         self.context = context
         self.unit_sandboxes: dict[str, Path] = {}
+        self._tracer = tracer or Tracer(None)
 
     def register_unit(self, unit: "ComputeUnit") -> Path:
         # Sandboxes are notional under simulation; remember a fake path so
@@ -120,16 +127,22 @@ class SimStager:
             total += fs.transfer_time(directive.nbytes)
         return total
 
-    def stage_in(self, unit: "ComputeUnit", done: Callable[[], None]) -> None:
+    def _timed(self, name: str, unit: "ComputeUnit", cost: float,
+               done: Callable[[], None]) -> None:
+        span = self._tracer.begin(name, unit.uid)
+
+        def finish() -> None:
+            self._tracer.end(span)
+            done()
+
         self.context.sim.schedule(
-            self._cost(unit.description.input_staging),
-            done,
-            label=f"stage_in:{unit.uid}",
+            cost, finish, label=f"{name.partition('.')[2]}:{unit.uid}"
         )
 
+    def stage_in(self, unit: "ComputeUnit", done: Callable[[], None]) -> None:
+        self._timed("agent.stage_in", unit,
+                    self._cost(unit.description.input_staging), done)
+
     def stage_out(self, unit: "ComputeUnit", done: Callable[[], None]) -> None:
-        self.context.sim.schedule(
-            self._cost(unit.description.output_staging),
-            done,
-            label=f"stage_out:{unit.uid}",
-        )
+        self._timed("agent.stage_out", unit,
+                    self._cost(unit.description.output_staging), done)

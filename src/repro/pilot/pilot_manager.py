@@ -55,12 +55,16 @@ class PilotManager:
             )
         pilot = ComputePilot(description, self.session)
         pilot.agent = Agent(self.session, pilot, **self._agent_options)
-        self.session.prof.event("pilot_submit", pilot.uid, cores=description.cores)
-
-        if self.session.is_simulated:
-            self._launch_sim(pilot)
-        else:
-            self._launch_local(pilot)
+        with self.session.tracer.span(
+            "pmgr.submit", self.uid, cores=description.cores
+        ):
+            self.session.prof.event(
+                "pilot_submit", pilot.uid, cores=description.cores
+            )
+            if self.session.is_simulated:
+                self._launch_sim(pilot)
+            else:
+                self._launch_local(pilot)
         self.pilots.append(pilot)
         self.session.store.insert(
             "pilots",
@@ -80,9 +84,15 @@ class PilotManager:
     def _make_sim_job(self, pilot: ComputePilot, service: JobService):
         """One container-job incarnation of *pilot* (initial or resubmitted)."""
         context = self.session.sim_context
+        submitted = self.session.now()
 
         def payload(job) -> None:
-            # Container job started: the agent bootstraps, then goes ACTIVE.
+            # Container job started: batch-queue wait is over for this
+            # incarnation; the agent bootstraps, then goes ACTIVE.
+            self.session.metrics.sample(
+                "pilot.queue_wait", self.session.now() - submitted
+            )
+
             def bootstrap_done() -> None:
                 if pilot.state is PilotState.PENDING:
                     pilot.advance(PilotState.ACTIVE)

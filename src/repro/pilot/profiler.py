@@ -48,6 +48,20 @@ class Profiler:
         with self._lock:
             return iter(list(self._events))
 
+    def snapshot(self, since: int = 0) -> tuple[list[ProfileEvent], int]:
+        """Incremental view: events recorded at index ``since`` onward.
+
+        Returns ``(new_events, cursor)`` where ``cursor`` is the index
+        to pass as ``since`` next time.  Because the trace is
+        append-only, repeated calls see every event exactly once
+        without ever copying the whole list — the telemetry span
+        builder and analytics poll large live traces through this.
+        """
+        with self._lock:
+            fresh = self._events[since:]
+            cursor = len(self._events)
+        return fresh, cursor
+
     def events(self, name: str | None = None, uid: str | None = None) -> list[ProfileEvent]:
         """Events filtered by name and/or uid, in recording order."""
         with self._lock:

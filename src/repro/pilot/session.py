@@ -15,6 +15,8 @@ from repro.pilot.faults import FaultModel
 from repro.pilot.retry import RetryPolicy
 from repro.pilot.profiler import Profiler
 from repro.saga.adaptors.sim import SimContext
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.span import Tracer
 from repro.utils.ids import generate_id
 from repro.utils.logger import get_logger
 from repro.utils.timing import WallClock
@@ -121,6 +123,12 @@ class Session:
                 self._own_sandbox = False
 
         self.prof = Profiler(self._clock.now)
+        # Telemetry rides on the profiler: explicit spans and metric
+        # points are just more trace events, so they charge no virtual
+        # time and stay bit-deterministic under a seed.  Imported as
+        # submodules: repro.telemetry must not import the pilot layer.
+        self.tracer = Tracer(self.prof)
+        self.metrics = MetricsRegistry(self._clock.now, emit=self.prof.event)
         self.prof.event("session_start", self.uid, mode=mode, platform=platform)
         self.store.insert("sessions", self.uid, {"mode": mode, "platform": platform})
 

@@ -41,6 +41,9 @@ class ComputeUnit:
         #: (populated on node kills when the retry policy excludes failed
         #: nodes).
         self.excluded_nodes: set[tuple[str, int]] = set()
+        metrics = getattr(session, "metrics", None)
+        if metrics is not None:
+            metrics.adjust("units.NEW", 1)
 
     # -- state -----------------------------------------------------------------
 
@@ -51,10 +54,15 @@ class ComputeUnit:
     def advance(self, target: UnitState) -> None:
         with self._lock:
             validate_unit_edge(f"ComputeUnit {self.uid}", self._state, target)
+            previous = self._state
             self._state = target
             self.timestamps[target.value] = self.session.now()
             callbacks = list(self._callbacks)
         self.session.prof.event("unit_state", self.uid, state=target.value)
+        metrics = getattr(self.session, "metrics", None)
+        if metrics is not None:
+            metrics.adjust(f"units.{previous.value}", -1)
+            metrics.adjust(f"units.{target.value}", 1)
         for cb in callbacks:
             cb(self, target)
         if target.is_final:

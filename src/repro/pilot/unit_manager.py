@@ -75,25 +75,30 @@ class UnitManager:
         if isinstance(descriptions, ComputeUnitDescription):
             descriptions = [descriptions]
 
-        self.session.prof.event("umgr_submit_start", self.uid, n=len(descriptions))
         units: list[ComputeUnit] = []
         routing: dict[str, tuple[ComputePilot, list[ComputeUnit]]] = {}
-        for description in descriptions:
-            unit = ComputeUnit(description, self.session)
-            if callback is not None:
-                unit.add_callback(callback)
-            for cb in self._callbacks:
-                unit.add_callback(cb)
-            unit.advance(UnitState.UMGR_SCHEDULING)
-            pilot = self._pick_pilot(description)
-            routing.setdefault(pilot.uid, (pilot, []))[1].append(unit)
-            units.append(unit)
-        with self._lock:
-            self.units.extend(units)
+        with self.session.tracer.span(
+            "umgr.submit", self.uid, n=len(descriptions)
+        ):
+            for description in descriptions:
+                unit = ComputeUnit(description, self.session)
+                self.session.prof.event(
+                    "unit_new", unit.uid,
+                    pattern=description.tags.get("pattern", ""),
+                )
+                if callback is not None:
+                    unit.add_callback(callback)
+                for cb in self._callbacks:
+                    unit.add_callback(cb)
+                unit.advance(UnitState.UMGR_SCHEDULING)
+                pilot = self._pick_pilot(description)
+                routing.setdefault(pilot.uid, (pilot, []))[1].append(unit)
+                units.append(unit)
+            with self._lock:
+                self.units.extend(units)
 
-        for pilot, batch in routing.values():
-            self._forward(pilot, batch, extra_delay)
-        self.session.prof.event("umgr_submit_stop", self.uid, n=len(descriptions))
+            for pilot, batch in routing.values():
+                self._forward(pilot, batch, extra_delay)
         return units
 
     def _pick_pilot(self, description: ComputeUnitDescription) -> ComputePilot:

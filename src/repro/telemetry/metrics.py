@@ -1,0 +1,159 @@
+"""Metrics time series on the session clock.
+
+A :class:`MetricsRegistry` records counters (monotonic increments),
+gauges (set to a value) and samples (observations of a distribution),
+each timestamped by the injected clock — the virtual clock under
+simulation, so metric timelines are bit-identical across same-seed
+runs.
+
+When constructed with an ``emit`` callable (the session wires in
+``Profiler.event``), every recorded point is *also* appended to the
+flat trace as a ``metric`` event (``uid`` = metric name, ``value`` =
+point value).  That makes metrics part of the JSONL dump, the Chrome
+export (as counter tracks) and the determinism comparison for free,
+and lets the ``repro trace`` CLI rebuild series from a trace file with
+:meth:`MetricsRegistry.from_events`.
+
+No pilot-layer imports here (the session imports us).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = ["MetricSeries", "MetricsRegistry"]
+
+
+@dataclass
+class MetricSeries:
+    """One named time series: (time, value) points in record order."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "sample"
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def last(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+    def values(self) -> list[float]:
+        return [value for _, value in self.points]
+
+    def value_at(self, time: float) -> float:
+        """The most recent value at or before *time* (0.0 before any)."""
+        current = 0.0
+        for t, value in self.points:
+            if t > time:
+                break
+            current = value
+        return current
+
+    def stats(self) -> dict[str, float]:
+        """min/max/mean/count over recorded values (empty series → zeros)."""
+        values = self.values()
+        if not values:
+            return {"count": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": float(len(values)),
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and samples stamped by the session clock.
+
+    ``clock`` is a zero-argument callable returning the current time
+    (``Session`` passes its clock's ``now``); ``emit``, when given, is
+    called as ``emit("metric", name, value=...)`` for every point so the
+    series ride inside the profiler trace.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        emit: Callable[..., Any] | None = None,
+    ) -> None:
+        self._clock = clock
+        self._emit = emit
+        self._series: dict[str, MetricSeries] = {}
+        # Local-mode units advance from executor worker threads; the
+        # read-modify-write in count()/adjust() needs the same guard
+        # the profiler's append has.
+        self._lock = threading.Lock()
+
+    def _record(self, name: str, kind: str, value: float, delta: bool) -> None:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = MetricSeries(name=name, kind=kind)
+                self._series[name] = series
+            if delta:
+                value += series.last
+            series.points.append((self._clock(), float(value)))
+        if self._emit is not None:
+            self._emit("metric", name, value=float(value), kind=kind)
+
+    def count(self, name: str, delta: float = 1.0) -> None:
+        """Increment counter *name* by *delta*; records the new total."""
+        self._record(name, "counter", delta, delta=True)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value*."""
+        self._record(name, "gauge", value, delta=False)
+
+    def adjust(self, name: str, delta: float) -> None:
+        """Adjust gauge *name* by *delta* from its last value."""
+        self._record(name, "gauge", delta, delta=True)
+
+    def sample(self, name: str, value: float) -> None:
+        """Record one observation of distribution *name*."""
+        self._record(name, "sample", value, delta=False)
+
+    # -- queries -----------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def series(self, name: str) -> MetricSeries:
+        """The series for *name* (an empty gauge series if never recorded)."""
+        return self._series.get(name, MetricSeries(name=name, kind="gauge"))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    # -- reconstruction from a trace --------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[Any]) -> "MetricsRegistry":
+        """Rebuild a registry from ``metric`` events in a trace.
+
+        Accepts live profile events or dicts parsed from a JSONL dump.
+        The returned registry's clock is frozen (recording into it
+        stamps time 0.0); it is meant for querying only.
+        """
+        registry = cls(lambda: 0.0)
+        for event in events:
+            if isinstance(event, Mapping):
+                name, uid = str(event["name"]), str(event.get("uid", ""))
+                attrs: Mapping[str, Any] = event
+                time = float(event["time"])
+            else:
+                name, uid = event.name, event.uid
+                attrs = event.attrs
+                time = event.time
+            if name != "metric":
+                continue
+            kind = str(attrs.get("kind", "gauge"))
+            series = registry._series.get(uid)
+            if series is None:
+                series = MetricSeries(name=uid, kind=kind)
+                registry._series[uid] = series
+            series.points.append((time, float(attrs.get("value", 0.0))))
+        return registry

@@ -1,0 +1,487 @@
+"""The causal span model.
+
+A :class:`Span` is one named interval of (virtual or wall) time attached
+to an entity — the session, a pattern, a pilot, a compute unit — with a
+parent span and free-form attributes.  Two sources produce spans:
+
+* **derived** — :class:`SpanBuilder` reconstructs the span tree from the
+  flat profiler trace: the paired ``entk_*`` client events, the pilot
+  lifecycle events, and each unit's ``unit_state`` sequence (every
+  interval between consecutive state entries becomes one
+  ``unit:<STATE>`` phase span);
+* **explicit** — :class:`Tracer` emits ``span_open``/``span_close``
+  event pairs from instrumented code (``with tracer.span(...)``), with
+  causal parenthood tracked on a per-thread stack.
+
+The builder accepts events in any order (it sorts by timestamp, stably)
+and from either live :class:`~repro.pilot.profiler.ProfileEvent` objects
+or dicts parsed back from a JSONL trace dump, so the ``repro trace`` CLI
+and the in-process analytics share one code path.
+
+This module must not import the pilot layer at runtime (the session
+imports *us*); events are duck-typed on ``time``/``name``/``uid``/
+``attrs``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.utils.ids import generate_id
+
+__all__ = ["Span", "SpanTree", "SpanBuilder", "Tracer", "component_of"]
+
+#: Span names whose time the paper books as EnTK *core* overhead.
+_CORE_SPAN_NAMES = frozenset({"entk_init", "entk_alloc", "entk_cancel"})
+#: Span names booked as EnTK *pattern* overhead.
+_PATTERN_SPAN_NAMES = frozenset({"entk_stage_create", "entk_pattern_overhead"})
+#: The one span name booked as application execution.
+_EXEC_SPAN_NAME = "unit:EXECUTING"
+
+
+@dataclass
+class Span:
+    """One named, causally-parented time interval.
+
+    ``uid`` identifies the span; ``ref`` names the runtime entity the
+    span belongs to (a unit, pilot, pattern or session uid), which is
+    how explicit spans without a recorded parent find their place in
+    the tree.
+    """
+
+    uid: str
+    name: str
+    t_start: float
+    t_end: float
+    parent: str | None = None
+    ref: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span {self.name} [{self.t_start:.3f}, {self.t_end:.3f}] "
+            f"ref={self.ref!r} children={len(self.children)}>"
+        )
+
+
+def component_of(span: Span) -> str:
+    """Which Fig. 3 component a span's time is booked under.
+
+    Explicit spans may carry a ``component`` attribute; derived spans
+    are classified by name.  Everything unclassified is *runtime* —
+    the paper's catch-all for what the pilot system adds.
+    """
+    explicit = span.attrs.get("component")
+    if explicit:
+        return str(explicit)
+    if span.name in _CORE_SPAN_NAMES:
+        return "core"
+    if span.name in _PATTERN_SPAN_NAMES:
+        return "pattern"
+    if span.name == _EXEC_SPAN_NAME:
+        return "execution"
+    return "runtime"
+
+
+class Tracer:
+    """Emits explicit ``span_open``/``span_close`` pairs into a profiler.
+
+    ``span()`` is the context manager for synchronous sections; it also
+    pushes the span onto a per-thread stack so nested spans (and manual
+    ``begin()`` calls made underneath) record their causal parent.
+    ``begin()``/``end()`` are the manual API for asynchronous sections
+    that open in one event callback and close in another — they record
+    the parent active at ``begin`` time but do not occupy the stack.
+
+    Span uids come from :func:`repro.utils.ids.generate_id`, so traces
+    stay bit-identical across same-seed runs (the id counters are part
+    of the deterministic replay state).
+
+    A tracer built over ``profiler=None`` is a no-op; components that
+    receive no tracer (e.g. stagers built directly in tests) stay
+    silent instead of needing guards at every call site.
+    """
+
+    def __init__(self, profiler: Any | None) -> None:
+        self._prof = profiler
+        self._local = threading.local()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def begin(
+        self, name: str, ref: str = "", *, component: str = "", **attrs: Any
+    ) -> str:
+        """Open a span; returns its uid (pass to :meth:`end`)."""
+        if self._prof is None:
+            return ""
+        uid = generate_id("span", width=6)
+        stack = self._stack()
+        parent = stack[-1] if stack else ""
+        payload = dict(attrs)
+        if component:
+            payload["component"] = component
+        self._prof.event("span_open", uid, span=name, ref=ref, parent=parent,
+                         **payload)
+        return uid
+
+    def end(self, uid: str) -> None:
+        """Close a span opened with :meth:`begin`."""
+        if self._prof is None or not uid:
+            return
+        self._prof.event("span_close", uid)
+
+    @contextmanager
+    def span(
+        self, name: str, ref: str = "", *, component: str = "", **attrs: Any
+    ) -> Iterator[str]:
+        """Context manager: open a span, nest children under it, close it."""
+        uid = self.begin(name, ref, component=component, **attrs)
+        stack = self._stack()
+        if uid:
+            stack.append(uid)
+        try:
+            yield uid
+        finally:
+            if uid:
+                stack.pop()
+            self.end(uid)
+
+
+#: The tracer handed to components that were built without one.
+NULL_TRACER = Tracer(None)
+
+
+@dataclass(frozen=True)
+class _Event:
+    """Normalized view of one trace event (live object or JSONL dict)."""
+
+    time: float
+    name: str
+    uid: str
+    attrs: Mapping[str, Any]
+
+
+def _normalize(event: Any) -> _Event:
+    if isinstance(event, Mapping):
+        attrs = {
+            key: value
+            for key, value in event.items()
+            if key not in ("time", "name", "uid")
+        }
+        return _Event(float(event["time"]), str(event["name"]),
+                      str(event.get("uid", "")), attrs)
+    return _Event(event.time, event.name, event.uid, event.attrs)
+
+
+@dataclass
+class SpanTree:
+    """The reconstructed span tree: one root plus a uid index."""
+
+    root: Span
+    spans: dict[str, Span]
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans.values())
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def find(self, name: str | None = None, ref: str | None = None) -> list[Span]:
+        """Spans filtered by name and/or entity ref, in creation order."""
+        return [
+            span
+            for span in self.spans.values()
+            if (name is None or span.name == name)
+            and (ref is None or span.ref == ref)
+        ]
+
+    def leaves(self) -> list[Span]:
+        return [span for span in self.spans.values() if span.is_leaf]
+
+    def pattern(self, uid: str | None = None) -> Span | None:
+        """The pattern span (by uid, or the innermost one when unique).
+
+        With nested patterns (a :class:`PatternSequence` wrapping its
+        constituents) and no explicit uid, the *first leaf-most* pattern
+        span is returned — the one actual runs hang their units off.
+        """
+        patterns = self.find(name="pattern")
+        if uid is not None:
+            for span in patterns:
+                if span.ref == uid:
+                    return span
+            return None
+        if not patterns:
+            return None
+        inner = [
+            span
+            for span in patterns
+            if not any(child.name == "pattern" for child in span.children)
+        ]
+        return inner[0] if inner else patterns[0]
+
+
+class SpanBuilder:
+    """Reconstructs the causal span tree from the flat event trace.
+
+    Feed events with :meth:`add_events` (any iterable, any order) or
+    :meth:`ingest` (incremental pull from a live profiler via its
+    ``snapshot(since=...)`` cursor), then call :meth:`build`.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[_Event] = []
+        self._cursor = 0
+
+    def add_events(self, events: Iterable[Any]) -> "SpanBuilder":
+        self._events.extend(_normalize(ev) for ev in events)
+        return self
+
+    def ingest(self, profiler: Any) -> int:
+        """Pull events recorded since the last call; returns how many."""
+        fresh, self._cursor = profiler.snapshot(since=self._cursor)
+        self.add_events(fresh)
+        return len(fresh)
+
+    # -- construction ------------------------------------------------------
+
+    def build(self) -> SpanTree:
+        if not self._events:
+            raise ValueError("no events to build a span tree from")
+        events = sorted(self._events, key=lambda ev: ev.time)  # stable
+        t_trace_end = events[-1].time
+
+        spans: dict[str, Span] = {}
+
+        def add(span: Span) -> Span:
+            spans[span.uid] = span
+            return span
+
+        root = add(self._session_span(events, t_trace_end))
+
+        for name in ("entk_init", "entk_alloc", "entk_cancel"):
+            for i, (uid, t0, t1, attrs) in enumerate(
+                self._paired(events, f"{name}_start", f"{name}_stop")
+            ):
+                add(Span(f"{name}:{i}", name, t0, t1,
+                         parent=root.uid, ref=uid, attrs=dict(attrs)))
+
+        self._pattern_spans(events, spans, root, t_trace_end)
+        self._pilot_spans(events, spans, root, t_trace_end)
+        self._unit_spans(events, spans, root, t_trace_end)
+        self._explicit_spans(events, spans, root, t_trace_end)
+
+        self._link(spans, root)
+        return SpanTree(root=root, spans=spans)
+
+    # -- derivation passes -------------------------------------------------
+
+    @staticmethod
+    def _paired(
+        events: list[_Event], start_name: str, stop_name: str
+    ) -> list[tuple[str, float, float, Mapping[str, Any]]]:
+        """Match *start*/*stop* events per uid, in order of occurrence."""
+        open_by_uid: dict[str, list[tuple[float, Mapping[str, Any]]]] = {}
+        pairs: list[tuple[str, float, float, Mapping[str, Any]]] = []
+        for ev in events:
+            if ev.name == start_name:
+                open_by_uid.setdefault(ev.uid, []).append((ev.time, ev.attrs))
+            elif ev.name == stop_name and open_by_uid.get(ev.uid):
+                t0, attrs = open_by_uid[ev.uid].pop(0)
+                pairs.append((ev.uid, t0, ev.time, attrs))
+        pairs.sort(key=lambda pair: pair[1])  # stable: by start time
+        return pairs
+
+    def _session_span(self, events: list[_Event], t_trace_end: float) -> Span:
+        starts = [ev for ev in events if ev.name == "session_start"]
+        closes = [ev for ev in events if ev.name == "session_close"]
+        uid = starts[0].uid if starts else "session"
+        t0 = starts[0].time if starts else events[0].time
+        t1 = closes[-1].time if closes else t_trace_end
+        return Span(f"session:{uid}", "session", t0, max(t1, t_trace_end),
+                    parent=None, ref=uid)
+
+    def _pattern_spans(
+        self, events: list[_Event], spans: dict[str, Span], root: Span,
+        t_trace_end: float,
+    ) -> None:
+        patterns = self._paired(events, "entk_pattern_start",
+                                "entk_pattern_stop")
+        # Unstopped patterns (crashed run) still deserve a span.
+        stopped = [uid for uid, _, _, _ in patterns]
+        for ev in events:
+            if ev.name == "entk_pattern_start" and ev.uid not in stopped:
+                patterns.append((ev.uid, ev.time, t_trace_end, ev.attrs))
+        for uid, t0, t1, attrs in patterns:
+            spans[f"pattern:{uid}"] = Span(
+                f"pattern:{uid}", "pattern", t0, t1, parent=root.uid,
+                ref=uid, attrs=dict(attrs),
+            )
+        # Nest patterns by strict containment (PatternSequence wrappers).
+        pattern_spans = [s for s in spans.values() if s.name == "pattern"]
+        for span in pattern_spans:
+            enclosing = [
+                other
+                for other in pattern_spans
+                if other is not span
+                and other.t_start <= span.t_start
+                and span.t_end <= other.t_end
+                and other.duration > span.duration
+            ]
+            if enclosing:
+                enclosing.sort(key=lambda s: (s.duration, s.uid))
+                span.parent = enclosing[0].uid
+
+        for uid, t0, t1, attrs in self._paired(
+            events, "entk_stage_create_start", "entk_stage_create_stop"
+        ):
+            i = sum(1 for s in spans.values()
+                    if s.name == "entk_stage_create" and s.ref == uid)
+            parent = f"pattern:{uid}" if f"pattern:{uid}" in spans else root.uid
+            key = f"entk_stage_create:{uid}:{i}"
+            spans[key] = Span(key, "entk_stage_create", t0, t1,
+                              parent=parent, ref=uid, attrs=dict(attrs))
+
+        # The charged pattern overhead delays delivery of a batch starting
+        # at the moment it is recorded; book it as a [t, t+seconds] span.
+        charge_counts: dict[str, int] = {}
+        for ev in events:
+            if ev.name != "entk_pattern_overhead":
+                continue
+            seconds = float(ev.attrs.get("seconds", 0.0))
+            i = charge_counts.get(ev.uid, 0)
+            charge_counts[ev.uid] = i + 1
+            parent = (f"pattern:{ev.uid}"
+                      if f"pattern:{ev.uid}" in spans else root.uid)
+            key = f"entk_pattern_overhead:{ev.uid}:{i}"
+            spans[key] = Span(key, "entk_pattern_overhead", ev.time,
+                              ev.time + seconds, parent=parent, ref=ev.uid,
+                              attrs=dict(ev.attrs))
+
+    def _pilot_spans(
+        self, events: list[_Event], spans: dict[str, Span], root: Span,
+        t_trace_end: float,
+    ) -> None:
+        submits: dict[str, float] = {}
+        ends: dict[str, float] = {}
+        startup_open: dict[str, float] = {}
+        startup_count: dict[str, int] = {}
+        for ev in events:
+            if ev.name == "pilot_submit":
+                submits.setdefault(ev.uid, ev.time)
+                startup_open[ev.uid] = ev.time
+            elif ev.name == "pilot_resubmit":
+                startup_open[ev.uid] = ev.time
+            elif ev.name == "agent_start" and ev.uid in startup_open:
+                i = startup_count.get(ev.uid, 0)
+                startup_count[ev.uid] = i + 1
+                key = f"pilot_startup:{ev.uid}:{i}"
+                spans[key] = Span(key, "pilot_startup",
+                                  startup_open.pop(ev.uid), ev.time,
+                                  parent=f"pilot:{ev.uid}", ref=ev.uid)
+            elif ev.name in ("agent_stop", "agent_abort", "pilot_cancel"):
+                ends[ev.uid] = ev.time
+        for uid, t0 in submits.items():
+            spans[f"pilot:{uid}"] = Span(
+                f"pilot:{uid}", "pilot", t0, ends.get(uid, t_trace_end),
+                parent=root.uid, ref=uid,
+            )
+
+    def _unit_spans(
+        self, events: list[_Event], spans: dict[str, Span], root: Span,
+        t_trace_end: float,
+    ) -> None:
+        # Per unit: creation time + pattern attribution from unit_new,
+        # then the timestamped state sequence.
+        created: dict[str, tuple[float, str]] = {}
+        states: dict[str, list[tuple[float, str]]] = {}
+        for ev in events:
+            if ev.name == "unit_new":
+                created.setdefault(
+                    ev.uid, (ev.time, str(ev.attrs.get("pattern", "")))
+                )
+            elif ev.name == "unit_state":
+                states.setdefault(ev.uid, []).append(
+                    (ev.time, str(ev.attrs.get("state", "")))
+                )
+        for uid in sorted(set(created) | set(states)):
+            t_created, pattern_uid = created.get(uid, (None, ""))
+            seq = states.get(uid, [])
+            t0 = t_created if t_created is not None else seq[0][0]
+            t1 = seq[-1][0] if seq else t_trace_end
+            parent = (f"pattern:{pattern_uid}"
+                      if f"pattern:{pattern_uid}" in spans else root.uid)
+            container = Span(f"unit:{uid}", "unit", t0, t1, parent=parent,
+                             ref=uid, attrs={"pattern": pattern_uid})
+            spans[container.uid] = container
+            for i in range(len(seq) - 1):
+                t_phase, state = seq[i]
+                key = f"unit:{uid}:{i}"
+                spans[key] = Span(key, f"unit:{state}", t_phase,
+                                  seq[i + 1][0], parent=container.uid,
+                                  ref=uid)
+
+    def _explicit_spans(
+        self, events: list[_Event], spans: dict[str, Span], root: Span,
+        t_trace_end: float,
+    ) -> None:
+        opened: dict[str, Span] = {}
+        for ev in events:
+            if ev.name == "span_open":
+                attrs = {
+                    key: value
+                    for key, value in ev.attrs.items()
+                    if key not in ("span", "ref", "parent")
+                }
+                span = Span(ev.uid, str(ev.attrs.get("span", "span")),
+                            ev.time, t_trace_end,
+                            parent=str(ev.attrs.get("parent", "")) or None,
+                            ref=str(ev.attrs.get("ref", "")), attrs=attrs)
+                opened[ev.uid] = span
+                spans[ev.uid] = span
+            elif ev.name == "span_close" and ev.uid in opened:
+                opened.pop(ev.uid).t_end = ev.time
+        # Resolve parents: explicit parent uid, else the ref's entity
+        # span, else the session root.
+        for span in spans.values():
+            if not span.uid.startswith("span."):
+                continue
+            if span.parent and span.parent in spans:
+                continue
+            span.parent = self._entity_span(span.ref, spans, root)
+
+    @staticmethod
+    def _entity_span(ref: str, spans: dict[str, Span], root: Span) -> str:
+        for key in (f"unit:{ref}", f"pilot:{ref}", f"pattern:{ref}"):
+            if key in spans:
+                return key
+        return root.uid
+
+    @staticmethod
+    def _link(spans: dict[str, Span], root: Span) -> None:
+        for span in spans.values():
+            if span is root:
+                continue
+            parent = spans.get(span.parent or "", root)
+            if parent is span:  # defensive: never self-parent
+                parent = root
+            parent.children.append(span)
+        for span in spans.values():
+            span.children.sort(key=lambda s: (s.t_start, s.uid))

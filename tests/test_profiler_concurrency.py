@@ -1,0 +1,95 @@
+"""Profiler thread-safety and the incremental snapshot view."""
+
+import threading
+
+from repro.pilot.profiler import Profiler
+
+
+def _clock_factory():
+    state = {"t": 0.0}
+
+    def now() -> float:
+        state["t"] += 1.0
+        return state["t"]
+
+    return now
+
+
+class TestConcurrentWriters:
+    def test_events_from_many_threads_all_land(self):
+        prof = Profiler(_clock_factory())
+        nthreads, per_thread = 8, 500
+        barrier = threading.Barrier(nthreads)
+
+        def writer(tid: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                prof.event("tick", f"t{tid}", i=i)
+
+        threads = [
+            threading.Thread(target=writer, args=(tid,))
+            for tid in range(nthreads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(prof) == nthreads * per_thread
+        for tid in range(nthreads):
+            mine = prof.events("tick", f"t{tid}")
+            assert [ev.attrs["i"] for ev in mine] == list(range(per_thread))
+
+    def test_iteration_during_writes_sees_consistent_prefix(self):
+        prof = Profiler(_clock_factory())
+        stop = threading.Event()
+
+        def writer() -> None:
+            i = 0
+            while not stop.is_set():
+                prof.event("tick", "w", i=i)
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                seen = [ev.attrs["i"] for ev in prof]
+                # Any snapshot must be a gap-free prefix of the stream.
+                assert seen == list(range(len(seen)))
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestSnapshot:
+    def test_incremental_cursor_sees_every_event_once(self):
+        prof = Profiler(_clock_factory())
+        collected, cursor = [], 0
+        for batch in range(5):
+            for i in range(10):
+                prof.event("ev", f"b{batch}", i=i)
+            fresh, cursor = prof.snapshot(since=cursor)
+            assert len(fresh) == 10
+            collected.extend(fresh)
+        assert collected == list(prof)
+        fresh, cursor = prof.snapshot(since=cursor)
+        assert fresh == []
+        assert cursor == len(prof)
+
+    def test_snapshot_under_concurrent_writes_is_gap_free(self):
+        prof = Profiler(_clock_factory())
+        total = 4000
+
+        def writer() -> None:
+            for i in range(total):
+                prof.event("tick", "w", i=i)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        seen, cursor = [], 0
+        while len(seen) < total:
+            fresh, cursor = prof.snapshot(since=cursor)
+            seen.extend(ev.attrs["i"] for ev in fresh)
+        thread.join()
+        assert seen == list(range(total))
