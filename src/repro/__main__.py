@@ -20,6 +20,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 
@@ -65,7 +66,17 @@ def cmd_figure(args) -> int:
               f"{sorted(_SMALL_FIGURE_KWARGS)}", file=sys.stderr)
         return 2
     module = getattr(experiments, name)
-    kwargs = _SMALL_FIGURE_KWARGS[name] if args.small else {}
+    kwargs = dict(_SMALL_FIGURE_KWARGS[name]) if args.small else {}
+    accepts = inspect.signature(module.run).parameters
+    for option, flag, value in (("parallel", "--parallel", args.parallel),
+                                ("cache_dir", "--cache", args.cache)):
+        if not value:
+            continue
+        if option in accepts:
+            kwargs[option] = value
+        else:
+            print(f"note: {name} does not support {flag}; ignoring it",
+                  file=sys.stderr)
     if args.trace_out:
         harness.set_trace_out(args.trace_out)
     try:
@@ -149,6 +160,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="reduced parameters for a quick run")
     figure.add_argument("--trace-out", metavar="DIR", default=None,
                         help="dump a Chrome trace per run into DIR")
+    figure.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="run sweep points across N worker processes "
+                             "(figures built on the sweep runner)")
+    figure.add_argument("--cache", metavar="DIR", default=None,
+                        help="reuse finished sweep points from this run "
+                             "cache directory")
     figure.set_defaults(fn=cmd_figure)
 
     ablation = sub.add_parser(

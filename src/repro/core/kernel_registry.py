@@ -38,11 +38,32 @@ def kernel(plugin_cls: type) -> type:
     return register_kernel(plugin_cls)
 
 
+#: Built-in plugin modules by dotted-name prefix.  Loading only the
+#: module a lookup needs keeps light workloads light: ``misc.sleep``
+#: must not drag in the MD/analysis stack (and its scipy import), which
+#: used to dominate simulated-run wall time.
+_BUILTIN_MODULES = {
+    "misc": "repro.kernels.misc",
+    "md": "repro.kernels.md",
+    "analysis": "repro.kernels.analysis",
+    "exchange": "repro.kernels.exchange",
+}
+
+
 def get_kernel_plugin(name: str) -> type:
-    """Look a plugin class up by name; built-ins load lazily."""
+    """Look a plugin class up by name; built-ins load lazily per family."""
     if name not in _REGISTRY:
-        # Importing the built-in library registers misc/md/analysis kernels.
-        import repro.kernels  # noqa: F401  (import for side effect)
+        import importlib
+
+        module = _BUILTIN_MODULES.get(name.partition(".")[0])
+        if module is not None:
+            importlib.import_module(module)
+    if name not in _REGISTRY:
+        # Unknown prefix: load the whole built-in library before giving
+        # up, so third-party registrations hooked into it still resolve.
+        import repro.kernels
+
+        repro.kernels.register_builtins()
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -51,6 +72,7 @@ def get_kernel_plugin(name: str) -> type:
 
 def list_kernel_plugins() -> list[str]:
     """Names of all registered plugins (built-ins included), sorted."""
-    import repro.kernels  # noqa: F401  (import for side effect)
+    import repro.kernels
 
+    repro.kernels.register_builtins()
     return sorted(_REGISTRY)

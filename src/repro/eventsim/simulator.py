@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.exceptions import SimulationError
@@ -15,21 +14,47 @@ __all__ = ["Event", "Simulator"]
 
 log = get_logger("eventsim")
 
+#: Event lifecycle markers (kept as plain ints for speed).
+_PENDING, _EXECUTED, _CANCELLED = 0, 1, 2
 
-@dataclass(order=True, frozen=True)
+#: Purge the cancelled bookkeeping once this many tombstones accumulate
+#: *and* they outnumber the live events (see :meth:`Simulator._purge`).
+_PURGE_THRESHOLD = 512
+
+
 class Event:
     """A scheduled callback.
 
-    Ordering is by ``(time, priority, seq)``; *priority* breaks same-time
-    ties deterministically (lower runs first) and *seq* preserves insertion
-    order among equal priorities.
+    Ordering on the heap is by ``(time, priority, seq)``; *priority*
+    breaks same-time ties deterministically (lower runs first) and *seq*
+    preserves insertion order among equal priorities.  The heap stores
+    keyed tuples — events themselves are never compared, so scheduling
+    pays no dataclass ``__lt__`` overhead.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    label: str = field(compare=False, default="")
+    __slots__ = ("time", "priority", "seq", "callback", "label", "_status")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self._status = _PENDING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = ("pending", "executed", "cancelled")[self._status]
+        return (
+            f"<Event t={self.time} prio={self.priority} seq={self.seq} "
+            f"label={self.label!r} {status}>"
+        )
 
 
 class Simulator:
@@ -46,7 +71,7 @@ class Simulator:
 
     def __init__(self, start: float = 0.0) -> None:
         self.clock = VirtualClock(start)
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._cancelled: set[int] = set()
         self._events_processed = 0
@@ -85,8 +110,10 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self.now + delay, priority, next(self._seq), callback, label)
-        heapq.heappush(self._heap, event)
+        time = self.clock.now() + delay
+        seq = next(self._seq)
+        event = Event(time, priority, seq, callback, label)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         return event
 
     def schedule_at(
@@ -103,18 +130,46 @@ class Simulator:
         )
 
     def cancel(self, event: Event) -> None:
-        """Cancel a scheduled event (lazy removal; cheap)."""
+        """Cancel a scheduled event (lazy removal; cheap).
+
+        Cancelling an event that already ran — or was already cancelled —
+        is a no-op: only genuinely pending events leave a tombstone in the
+        cancelled set, so the set cannot accumulate stale seqs (they used
+        to leak forever when callers cancelled completed events).
+        """
+        if event._status != _PENDING:
+            return
+        event._status = _CANCELLED
         self._cancelled.add(event.seq)
+        if len(self._cancelled) > _PURGE_THRESHOLD:
+            self._purge()
+
+    def _purge(self) -> None:
+        """Rebuild the heap without cancelled entries when they dominate.
+
+        Cancellation is lazy (tombstones skipped at pop time), which is
+        O(1) — but a workload that schedules and cancels heavily (e.g.
+        fault-injection kills) can leave the heap mostly dead weight.
+        Rebuilding is O(live) and resets the tombstone set.
+        """
+        if len(self._cancelled) * 2 < len(self._heap):
+            return
+        self._heap = [
+            entry for entry in self._heap if entry[3]._status == _PENDING
+        ]
+        heapq.heapify(self._heap)
+        self._cancelled.clear()
 
     # -- execution ---------------------------------------------------------
 
     def step(self) -> Event | None:
         """Execute the next pending event; return it, or ``None`` if empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.seq in self._cancelled:
+            event = heapq.heappop(self._heap)[3]
+            if event._status != _PENDING:
                 self._cancelled.discard(event.seq)
                 continue
+            event._status = _EXECUTED
             self.clock.advance_to(event.time)
             self._events_processed += 1
             event.callback()
@@ -137,11 +192,11 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     return
                 # Peek past cancelled events to honour `until` correctly.
-                while self._heap and self._heap[0].seq in self._cancelled:
-                    self._cancelled.discard(heapq.heappop(self._heap).seq)
+                while self._heap and self._heap[0][3]._status != _PENDING:
+                    self._cancelled.discard(heapq.heappop(self._heap)[2])
                 if not self._heap:
                     break
-                if until is not None and self._heap[0].time > until:
+                if until is not None and self._heap[0][0] > until:
                     self.clock.advance_to(until)
                     return
                 if self.step() is not None:

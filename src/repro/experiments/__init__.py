@@ -7,6 +7,7 @@ Each ``figN`` module exposes ``run(...) -> ExperimentResult`` plus a
 """
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.parallel import RunCache, run_sweep
 from repro.experiments import workloads
 from repro.experiments import fig3, fig4, fig5, fig6, fig7, fig8, fig9
 from repro.experiments import ablations
@@ -14,6 +15,8 @@ from repro.experiments import fault_ablation
 
 __all__ = [
     "ExperimentResult",
+    "RunCache",
+    "run_sweep",
     "workloads",
     "fig3",
     "fig4",

@@ -12,9 +12,12 @@ core count swept 20..2560.  The paper observes:
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.analytics.tables import Series
 from repro.experiments.base import ExperimentResult
 from repro.experiments.harness import kernel_phase_times, run_on_sim
+from repro.experiments.parallel import RunCache, run_sweep
 from repro.experiments.workloads import AmberTemperatureREMD
 
 __all__ = ["run", "main", "CORE_COUNTS", "REPLICAS", "RESOURCE"]
@@ -24,12 +27,41 @@ CORE_COUNTS = (20, 40, 80, 160, 320, 640, 1280, 2560)
 RESOURCE = "xsede.supermic"
 
 
+def _point(point: dict) -> dict:
+    """One sweep point: run the REMD workload at ``point["cores"]``.
+
+    Module-level and a pure function of *point*, as
+    :func:`repro.experiments.parallel.run_sweep` requires.
+    """
+    pattern = AmberTemperatureREMD(
+        replicas=point["replicas"],
+        iterations=point["iterations"],
+        duration_ps=point["duration_ps"],
+    )
+    run_on_sim(
+        pattern,
+        resource=point["resource"],
+        cores=point["cores"],
+        walltime_minutes=47 * 60.0,
+        seed=point["seed"],
+    )
+    phases = kernel_phase_times(pattern)
+    return {
+        "replicas": point["replicas"],
+        "cores": point["cores"],
+        "sim_s": phases.get("md.amber", 0.0),
+        "exchange_s": phases.get("exchange.temperature", 0.0),
+    }
+
+
 def run(
     replicas: int = REPLICAS,
     core_counts=CORE_COUNTS,
     resource: str = RESOURCE,
     duration_ps: float = 6.0,
     seed: int = 0,
+    parallel: int = 0,
+    cache_dir: str | Path | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         figure="fig5",
@@ -45,30 +77,24 @@ def run(
                expectation="constant (depends on replica count only)")
     )
 
-    for cores in core_counts:
-        pattern = AmberTemperatureREMD(
-            replicas=replicas, iterations=1, duration_ps=duration_ps
-        )
-        _, _, _breakdown = run_on_sim(
-            pattern,
-            resource=resource,
-            cores=cores,
-            walltime_minutes=47 * 60.0,
-            seed=seed,
-        )
-        phases = kernel_phase_times(pattern)
-        sim_time = phases.get("md.amber", 0.0)
-        exchange_time = phases.get("exchange.temperature", 0.0)
-        sim_series.append(cores, sim_time)
-        exchange_series.append(cores, exchange_time)
-        result.rows.append(
-            {
-                "replicas": replicas,
-                "cores": cores,
-                "sim_s": sim_time,
-                "exchange_s": exchange_time,
-            }
-        )
+    points = [
+        {
+            "figure": "fig5",
+            "pattern": "AmberTemperatureREMD",
+            "resource": resource,
+            "cores": cores,
+            "replicas": replicas,
+            "iterations": 1,
+            "duration_ps": duration_ps,
+            "seed": seed,
+        }
+        for cores in core_counts
+    ]
+    cache = RunCache(cache_dir) if cache_dir is not None else None
+    for row in run_sweep(_point, points, parallel=parallel, cache=cache):
+        sim_series.append(row["cores"], row["sim_s"])
+        exchange_series.append(row["cores"], row["exchange_s"])
+        result.rows.append(row)
 
     result.claim(
         "simulation time halves when cores double (linear strong scaling)",

@@ -11,9 +11,12 @@ SAL iteration.  The paper observes:
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.analytics.tables import Series
 from repro.experiments.base import ExperimentResult
 from repro.experiments.harness import kernel_phase_times, run_on_sim
+from repro.experiments.parallel import RunCache, run_sweep
 from repro.experiments.workloads import AmberCoCoSAL
 
 __all__ = ["run", "main", "CORE_COUNTS", "SIMULATIONS", "RESOURCE"]
@@ -23,12 +26,41 @@ CORE_COUNTS = (64, 128, 256, 512, 1024)
 RESOURCE = "xsede.stampede"
 
 
+def _point(point: dict) -> dict:
+    """One sweep point: run the SAL workload at ``point["cores"]``.
+
+    Module-level and a pure function of *point*, as
+    :func:`repro.experiments.parallel.run_sweep` requires.
+    """
+    pattern = AmberCoCoSAL(
+        instances=point["simulations"],
+        iterations=point["iterations"],
+        duration_ps=point["duration_ps"],
+    )
+    run_on_sim(
+        pattern,
+        resource=point["resource"],
+        cores=point["cores"],
+        walltime_minutes=12 * 60.0,
+        seed=point["seed"],
+    )
+    phases = kernel_phase_times(pattern)
+    return {
+        "simulations": point["simulations"],
+        "cores": point["cores"],
+        "sim_s": phases.get("md.amber", 0.0),
+        "analysis_s": phases.get("analysis.coco", 0.0),
+    }
+
+
 def run(
     simulations: int = SIMULATIONS,
     core_counts=CORE_COUNTS,
     resource: str = RESOURCE,
     duration_ps: float = 0.6,
     seed: int = 0,
+    parallel: int = 0,
+    cache_dir: str | Path | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         figure="fig7",
@@ -44,30 +76,24 @@ def run(
                expectation="constant (serial, depends on sim count)")
     )
 
-    for cores in core_counts:
-        pattern = AmberCoCoSAL(
-            instances=simulations, iterations=1, duration_ps=duration_ps
-        )
-        _, _, _breakdown = run_on_sim(
-            pattern,
-            resource=resource,
-            cores=cores,
-            walltime_minutes=12 * 60.0,
-            seed=seed,
-        )
-        phases = kernel_phase_times(pattern)
-        sim_time = phases.get("md.amber", 0.0)
-        analysis_time = phases.get("analysis.coco", 0.0)
-        sim_series.append(cores, sim_time)
-        analysis_series.append(cores, analysis_time)
-        result.rows.append(
-            {
-                "simulations": simulations,
-                "cores": cores,
-                "sim_s": sim_time,
-                "analysis_s": analysis_time,
-            }
-        )
+    points = [
+        {
+            "figure": "fig7",
+            "pattern": "AmberCoCoSAL",
+            "resource": resource,
+            "cores": cores,
+            "simulations": simulations,
+            "iterations": 1,
+            "duration_ps": duration_ps,
+            "seed": seed,
+        }
+        for cores in core_counts
+    ]
+    cache = RunCache(cache_dir) if cache_dir is not None else None
+    for row in run_sweep(_point, points, parallel=parallel, cache=cache):
+        sim_series.append(row["cores"], row["sim_s"])
+        analysis_series.append(row["cores"], row["analysis_s"])
+        result.rows.append(row)
 
     result.claim(
         "simulation time decreases linearly with the core count",

@@ -13,11 +13,30 @@ Importing this package registers every built-in plugin:
 ``analysis.lsdmap``    LSDMap: diffusion-map analysis of one trajectory set
 ``exchange.temperature``  REMD temperature exchange (Metropolis)
 =====================  =======================================================
+
+Registration is *lazy by family*: ``repro.core.kernel_registry`` imports only
+the submodule a lookup needs (``misc.sleep`` must not drag in the MD/analysis
+stack and its scipy import), so importing this package alone registers
+nothing.  Call :func:`register_builtins` (or touch a family attribute) to
+force registration of everything / one family.
 """
 
-from repro.kernels import misc  # noqa: F401  (registration side effect)
-from repro.kernels import md  # noqa: F401
-from repro.kernels import analysis  # noqa: F401
-from repro.kernels import exchange  # noqa: F401
+from __future__ import annotations
 
-__all__ = ["misc", "md", "analysis", "exchange"]
+import importlib
+
+__all__ = ["misc", "md", "analysis", "exchange", "register_builtins"]
+
+_FAMILIES = ("misc", "md", "analysis", "exchange")
+
+
+def __getattr__(name: str):
+    if name in _FAMILIES:
+        return importlib.import_module(f"repro.kernels.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def register_builtins() -> None:
+    """Import every family for its registration side effect."""
+    for family in _FAMILIES:
+        importlib.import_module(f"repro.kernels.{family}")

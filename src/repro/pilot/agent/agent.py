@@ -72,6 +72,18 @@ class Agent:
         )
         self._lock = threading.RLock()
         self._waiting: deque["ComputeUnit"] = deque()
+        #: Uids of waiting units (O(1) membership for cancel_unit).
+        self._waiting_uids: set[str] = set()
+        #: Core-count multiset of waiting units; ``_min_waiting`` caches its
+        #: minimum so a wake-up that cannot place anything returns in O(1)
+        #: (see ``_schedule_waiting``'s short-circuit).
+        self._waiting_sizes: dict[int, int] = {}
+        self._min_waiting: int | None = None
+        #: Uids of waiting units carrying a node-exclusion list for this
+        #: pilot.  While non-empty every wake-up must run the full scan:
+        #: such units can fail *terminally* during it (emitting events), so
+        #: the event-silent short-circuit would change traces.
+        self._waiting_excluded: set[str] = set()
         self._executing: dict[str, "ComputeUnit"] = {}
         self._cancelled: set[str] = set()
         self._started = False
@@ -106,12 +118,53 @@ class Agent:
         self._arm_node_faults()
         self._reschedule()
 
+    # -- waiting-queue bookkeeping -------------------------------------------------
+
+    def _waiting_add(self, unit: "ComputeUnit") -> None:
+        """Track *unit* entering the wait queue (caller holds the lock)."""
+        self._waiting.append(unit)
+        self._waiting_uids.add(unit.uid)
+        size = unit.description.cores
+        self._waiting_sizes[size] = self._waiting_sizes.get(size, 0) + 1
+        if self._min_waiting is None or size < self._min_waiting:
+            self._min_waiting = size
+        if unit.excluded_nodes:
+            self._waiting_excluded.add(unit.uid)
+
+    def _waiting_forget(self, unit: "ComputeUnit") -> None:
+        """Untrack *unit* leaving the wait queue (caller holds the lock).
+
+        The caller removes the unit from the deque itself (pop or
+        ``remove``); this maintains the uid set and the size multiset.
+        """
+        self._waiting_uids.discard(unit.uid)
+        self._waiting_excluded.discard(unit.uid)
+        size = unit.description.cores
+        count = self._waiting_sizes.get(size, 0) - 1
+        if count > 0:
+            self._waiting_sizes[size] = count
+        else:
+            self._waiting_sizes.pop(size, None)
+            if size == self._min_waiting:
+                self._min_waiting = (
+                    min(self._waiting_sizes) if self._waiting_sizes else None
+                )
+
+    def _waiting_clear(self) -> list["ComputeUnit"]:
+        """Drop the whole wait queue (caller holds the lock)."""
+        waiting = list(self._waiting)
+        self._waiting.clear()
+        self._waiting_uids.clear()
+        self._waiting_sizes.clear()
+        self._waiting_excluded.clear()
+        self._min_waiting = None
+        return waiting
+
     def stop(self) -> None:
         """Called at pilot teardown; cancels whatever is still queued."""
         self._disarm_node_faults()
         with self._lock:
-            waiting = list(self._waiting)
-            self._waiting.clear()
+            waiting = self._waiting_clear()
         for unit in waiting:
             unit.advance(UnitState.CANCELED)
             self._notify_final(unit)
@@ -150,8 +203,7 @@ class Agent:
         with self._lock:
             self._started = False
             victims = list(self._executing.values())
-            waiting = list(self._waiting)
-            self._waiting.clear()
+            waiting = self._waiting_clear()
         for unit in victims:
             self._kill_unit(unit, node=None)
         for unit in waiting:
@@ -211,8 +263,9 @@ class Agent:
         """Cancel a unit; waiting units are dequeued, running ones flagged."""
         with self._lock:
             self._cancelled.add(unit.uid)
-            if unit in self._waiting:
+            if unit.uid in self._waiting_uids:
                 self._waiting.remove(unit)
+                self._waiting_forget(unit)
                 to_cancel = True
             else:
                 to_cancel = False
@@ -229,7 +282,7 @@ class Agent:
             return
         unit.advance(UnitState.AGENT_SCHEDULING)
         with self._lock:
-            self._waiting.append(unit)
+            self._waiting_add(unit)
         self._reschedule()
 
     def _avoid_for(self, unit: "ComputeUnit") -> frozenset[int]:
@@ -253,10 +306,31 @@ class Agent:
             )
 
     def _schedule_waiting(self) -> None:
+        """One scheduling pass over the wait queue.
+
+        Wake-ups are *coalesced*: a pass whose free-core count cannot
+        satisfy the smallest waiting request returns in O(1), so a wave
+        of same-timestamp deallocations accumulates capacity silently
+        until one pass can actually place units — behaviorally identical
+        to scanning on every wake-up (failed allocation attempts emit no
+        events and leave the queue order untouched), but without the
+        O(waiting × cores) rescans.  The same bound stops a scan early
+        once launches drop the free count below every waiting request.
+        Both short-circuits are disabled while any waiting unit carries a
+        node-exclusion list: those units can fail terminally *during* the
+        scan, which is observable in the trace.
+        """
         launched: list["ComputeUnit"] = []
         unplaceable: list["ComputeUnit"] = []
         with self._lock:
-            if not self._started:
+            if not self._started or not self._waiting:
+                return
+            can_skip = not self._waiting_excluded
+            if (
+                can_skip
+                and self._min_waiting is not None
+                and self.slots.free_cores < self._min_waiting
+            ):
                 return
             if self.policy == "fifo":
                 while self._waiting:
@@ -268,12 +342,14 @@ class Agent:
                         < head.description.cores
                     ):
                         self._waiting.popleft()
+                        self._waiting_forget(head)
                         unplaceable.append(head)
                         continue
                     slots = self.slots.alloc(head.description.cores, avoid)
                     if slots is None:
                         break
                     self._waiting.popleft()
+                    self._waiting_forget(head)
                     head.slots = slots
                     self._executing[head.uid] = head
                     launched.append(head)
@@ -287,15 +363,26 @@ class Agent:
                         and self.slots.eligible_cores(avoid)
                         < unit.description.cores
                     ):
+                        self._waiting_forget(unit)
                         unplaceable.append(unit)
                         continue
                     slots = self.slots.alloc(unit.description.cores, avoid)
                     if slots is None:
                         remaining.append(unit)
                         continue
+                    self._waiting_forget(unit)
                     unit.slots = slots
                     self._executing[unit.uid] = unit
                     launched.append(unit)
+                    if (
+                        can_skip
+                        and self._min_waiting is not None
+                        and self.slots.free_cores < self._min_waiting
+                    ):
+                        # No remaining request fits; the rest of the scan
+                        # would only pop-and-requeue in place.
+                        break
+                remaining.extend(self._waiting)
                 self._waiting = remaining
         for unit in unplaceable:
             # The exclusion list leaves too few cores on this pilot — no

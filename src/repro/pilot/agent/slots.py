@@ -20,11 +20,30 @@ exclusion list).
 The invariant enforced here (and property-tested) is the paper-critical
 one: at no instant do occupied slots exceed the pilot size, and no slot is
 double-booked.
+
+Implementation notes (see ``docs/performance.md``): the *pool* — slots
+that are free **and** on a healthy node — is tracked in indexed
+structures so allocation cost scales with the number of placements, not
+with the pilot size.  The boolean per-slot arrays remain the ground
+truth; the indexes are accelerators kept incrementally consistent:
+
+* both schedulers keep per-node pool counts (``_node_free``), an O(1)
+  ``used_cores`` counter and a sorted list of nodes with pool slots;
+* :class:`ContiguousSlotScheduler` additionally keeps the pool as a
+  sorted list of maximal runs ``[start, end)``; deallocation merges
+  adjacent runs, allocation carves a prefix off the first fitting run;
+* ``eligible_cores`` is pure node-size arithmetic — no per-core loop.
+
+Placement *choices* are bit-identical to the reference linear scans
+(first-fit lowest contiguous block; lowest-numbered free slots), which is
+property-tested differentially against the reference implementation in
+``tests/test_pilot_slots.py``.
 """
 
 from __future__ import annotations
 
 import abc
+from bisect import bisect_left, bisect_right, insort
 
 from repro.exceptions import SchedulingError
 
@@ -34,6 +53,19 @@ __all__ = [
     "ScatteredSlotScheduler",
     "make_slot_scheduler",
 ]
+
+
+def _segments(slots: list[int]) -> list[tuple[int, int]]:
+    """Group a sorted slot list into maximal ``[start, end)`` runs."""
+    runs: list[tuple[int, int]] = []
+    start = prev = slots[0]
+    for slot in slots[1:]:
+        if slot != prev + 1:
+            runs.append((start, prev + 1))
+            start = slot
+        prev = slot
+    runs.append((start, prev + 1))
+    return runs
 
 
 class CoreSlotScheduler(abc.ABC):
@@ -50,6 +82,12 @@ class CoreSlotScheduler(abc.ABC):
         self._free = [True] * total_cores
         self._offline = [False] * total_cores
         self._nfree = total_cores
+        self._nused = 0
+        self._offline_node_set: set[int] = set()
+        #: Pool slots (free and online) per node, kept incrementally.
+        self._node_free = [len(self.node_slots(n)) for n in range(self.nnodes)]
+        #: Sorted node ids with at least one pool slot.
+        self._nonempty_nodes = list(range(self.nnodes))
 
     # -- topology ----------------------------------------------------------------
 
@@ -67,6 +105,10 @@ class CoreSlotScheduler(abc.ABC):
         start = node * self.cores_per_node
         return range(start, min(start + self.cores_per_node, self.total_cores))
 
+    def _node_size(self, node: int) -> int:
+        start = node * self.cores_per_node
+        return min(start + self.cores_per_node, self.total_cores) - start
+
     # -- accounting ---------------------------------------------------------------
 
     @property
@@ -76,13 +118,11 @@ class CoreSlotScheduler(abc.ABC):
 
     @property
     def used_cores(self) -> int:
-        return sum(1 for free in self._free if not free)
+        return self._nused
 
     @property
     def offline_nodes(self) -> set[int]:
-        return {
-            self.node_of(i) for i, off in enumerate(self._offline) if off
-        }
+        return set(self._offline_node_set)
 
     def eligible_cores(self, avoid_nodes: set[int] | frozenset[int] = frozenset()) -> int:
         """Cores a unit avoiding *avoid_nodes* could ever occupy.
@@ -94,9 +134,54 @@ class CoreSlotScheduler(abc.ABC):
         """
         if not avoid_nodes:
             return self.total_cores
-        return sum(
-            1 for i in range(self.total_cores) if self.node_of(i) not in avoid_nodes
+        avoided = sum(
+            self._node_size(node) for node in avoid_nodes
+            if 0 <= node < self.nnodes
         )
+        return self.total_cores - avoided
+
+    # -- pool index maintenance ----------------------------------------------------
+
+    def _pool_count_add(self, node: int, delta: int) -> None:
+        had = self._node_free[node] > 0
+        self._node_free[node] += delta
+        has = self._node_free[node] > 0
+        if has and not had:
+            insort(self._nonempty_nodes, node)
+        elif had and not has:
+            del self._nonempty_nodes[bisect_left(self._nonempty_nodes, node)]
+
+    def _pool_add(self, slots: list[int]) -> None:
+        """*slots* (sorted, disjoint from the pool) join the pool."""
+        for start, end in _segments(slots):
+            node_lo = start // self.cores_per_node
+            node_hi = (end - 1) // self.cores_per_node
+            for node in range(node_lo, node_hi + 1):
+                span = min(end, (node + 1) * self.cores_per_node) - max(
+                    start, node * self.cores_per_node
+                )
+                self._pool_count_add(node, span)
+        self._nfree += len(slots)
+        self._index_add(slots)
+
+    def _pool_remove(self, slots: list[int]) -> None:
+        """*slots* (sorted, all in the pool) leave the pool."""
+        for start, end in _segments(slots):
+            node_lo = start // self.cores_per_node
+            node_hi = (end - 1) // self.cores_per_node
+            for node in range(node_lo, node_hi + 1):
+                span = min(end, (node + 1) * self.cores_per_node) - max(
+                    start, node * self.cores_per_node
+                )
+                self._pool_count_add(node, -span)
+        self._nfree -= len(slots)
+        self._index_remove(slots)
+
+    def _index_add(self, slots: list[int]) -> None:
+        """Subclass hook: *slots* (sorted) joined the pool."""
+
+    def _index_remove(self, slots: list[int]) -> None:
+        """Subclass hook: *slots* (sorted) left the pool."""
 
     # -- failure domains -----------------------------------------------------------
 
@@ -107,19 +192,27 @@ class CoreSlotScheduler(abc.ABC):
         the resident units and their :meth:`dealloc` then discovers the
         slots are offline and keeps them out of the pool.
         """
+        leaving: list[int] = []
         for slot in self.node_slots(node):
             if not self._offline[slot]:
                 self._offline[slot] = True
                 if self._free[slot]:
-                    self._nfree -= 1
+                    leaving.append(slot)
+        self._offline_node_set.add(node)
+        if leaving:
+            self._pool_remove(leaving)
 
     def repair_node(self, node: int) -> None:
         """Return *node* to service; its free slots rejoin the pool."""
+        joining: list[int] = []
         for slot in self.node_slots(node):
             if self._offline[slot]:
                 self._offline[slot] = False
                 if self._free[slot]:
-                    self._nfree += 1
+                    joining.append(slot)
+        self._offline_node_set.discard(node)
+        if joining:
+            self._pool_add(joining)
 
     # -- allocation ----------------------------------------------------------------
 
@@ -152,63 +245,147 @@ class CoreSlotScheduler(abc.ABC):
             if self._offline[slot]:
                 raise SchedulingError(f"slot {slot} allocated while offline (internal bug)")
             self._free[slot] = False
-        self._nfree -= len(slots)
+        self._nused += len(slots)
+        self._pool_remove(sorted(slots))
         return slots
 
     def dealloc(self, slots: list[int]) -> None:
         """Free *slots*; offline slots stay out of the pool until repair."""
+        joining: list[int] = []
         for slot in slots:
             if self._free[slot]:
                 raise SchedulingError(f"slot {slot} freed twice (internal bug)")
             self._free[slot] = True
             if not self._offline[slot]:
-                self._nfree += 1
-
-    def _usable(self, slot: int, avoid_nodes: set[int] | frozenset[int]) -> bool:
-        return (
-            self._free[slot]
-            and not self._offline[slot]
-            and (not avoid_nodes or self.node_of(slot) not in avoid_nodes)
-        )
+                joining.append(slot)
+        self._nused -= len(slots)
+        if joining:
+            joining.sort()
+            self._pool_add(joining)
 
     @abc.abstractmethod
     def _pick(
         self, ncores: int, avoid_nodes: set[int] | frozenset[int]
     ) -> list[int] | None:
-        """Choose slots among the usable ones (enough are free by contract)."""
+        """Choose slots among the pool ones (enough are free by contract)."""
 
 
 class ContiguousSlotScheduler(CoreSlotScheduler):
-    """First-fit contiguous block; may refuse due to fragmentation."""
+    """First-fit contiguous block; may refuse due to fragmentation.
+
+    The pool is indexed as a sorted list of maximal runs: ``_run_starts``
+    (sorted starts) with ``_run_end[start] -> end`` and the reverse map
+    ``_run_by_end[end] -> start`` for O(log n) merge-on-dealloc.
+    """
+
+    def __init__(self, total_cores: int, cores_per_node: int | None = None) -> None:
+        super().__init__(total_cores, cores_per_node)
+        self._run_starts: list[int] = [0]
+        self._run_end: dict[int, int] = {0: total_cores}
+        self._run_by_end: dict[int, int] = {total_cores: 0}
+
+    # -- run index -----------------------------------------------------------
+
+    def _insert_run(self, start: int, end: int) -> None:
+        """Add pool run ``[start, end)``, merging with adjacent runs."""
+        left = self._run_by_end.pop(start, None)
+        if left is not None:
+            del self._run_end[left]
+            del self._run_starts[bisect_left(self._run_starts, left)]
+            start = left
+        right_end = self._run_end.pop(end, None)
+        if right_end is not None:
+            del self._run_by_end[right_end]
+            del self._run_starts[bisect_left(self._run_starts, end)]
+            end = right_end
+        insort(self._run_starts, start)
+        self._run_end[start] = end
+        self._run_by_end[end] = start
+
+    def _remove_span(self, start: int, end: int) -> None:
+        """Remove ``[start, end)`` (inside one run) from the run index."""
+        i = bisect_right(self._run_starts, start) - 1
+        run_start = self._run_starts[i]
+        run_end = self._run_end[run_start]
+        del self._run_starts[i]
+        del self._run_end[run_start]
+        del self._run_by_end[run_end]
+        if run_start < start:
+            insort(self._run_starts, run_start)
+            self._run_end[run_start] = start
+            self._run_by_end[start] = run_start
+        if end < run_end:
+            insort(self._run_starts, end)
+            self._run_end[end] = run_end
+            self._run_by_end[run_end] = end
+
+    def _index_add(self, slots: list[int]) -> None:
+        for start, end in _segments(slots):
+            self._insert_run(start, end)
+
+    def _index_remove(self, slots: list[int]) -> None:
+        for start, end in _segments(slots):
+            self._remove_span(start, end)
+
+    # -- placement -----------------------------------------------------------
 
     def _pick(
         self, ncores: int, avoid_nodes: set[int] | frozenset[int]
     ) -> list[int] | None:
-        run_start = None
-        run_len = 0
-        for i in range(self.total_cores):
-            if self._usable(i, avoid_nodes):
-                if run_start is None:
-                    run_start = i
-                run_len += 1
-                if run_len == ncores:
-                    return list(range(run_start, run_start + ncores))
-            else:
-                run_start = None
-                run_len = 0
+        cpn = self.cores_per_node
+        for start in self._run_starts:
+            end = self._run_end[start]
+            if not avoid_nodes:
+                if end - start >= ncores:
+                    return list(range(start, start + ncores))
+                continue
+            # Split the run at avoided-node boundaries; first fit wins.
+            cursor = start
+            while cursor < end:
+                node = cursor // cpn
+                if node in avoid_nodes:
+                    cursor = (node + 1) * cpn
+                    continue
+                # Extend over consecutive non-avoided nodes.
+                seg_end = min(end, (node + 1) * cpn)
+                while seg_end < end and (seg_end // cpn) not in avoid_nodes:
+                    seg_end = min(end, (seg_end // cpn + 1) * cpn)
+                if seg_end - cursor >= ncores:
+                    return list(range(cursor, cursor + ncores))
+                cursor = seg_end
         return None
 
 
 class ScatteredSlotScheduler(CoreSlotScheduler):
-    """Lowest-numbered free cores, contiguous or not; never fragments."""
+    """Lowest-numbered free cores, contiguous or not; never fragments.
+
+    Placement walks the sorted non-empty-node list (node-major slot
+    numbering makes node order equal global slot order) and scans only
+    the nodes it takes slots from — O(placed + skipped nodes), not
+    O(pilot size).
+    """
 
     def _pick(
         self, ncores: int, avoid_nodes: set[int] | frozenset[int]
     ) -> list[int] | None:
-        slots = [
-            i for i in range(self.total_cores) if self._usable(i, avoid_nodes)
-        ][:ncores]
-        return slots if len(slots) == ncores else None
+        picked: list[int] = []
+        need = ncores
+        free = self._free
+        offline = self._offline
+        for node in self._nonempty_nodes:
+            if avoid_nodes and node in avoid_nodes:
+                continue
+            take = min(need, self._node_free[node])
+            for slot in self.node_slots(node):
+                if free[slot] and not offline[slot]:
+                    picked.append(slot)
+                    take -= 1
+                    if take == 0:
+                        break
+            need = ncores - len(picked)
+            if need == 0:
+                return picked
+        return None
 
 
 def make_slot_scheduler(

@@ -16,8 +16,12 @@ from typing import Any, Callable, Iterator
 __all__ = ["ProfileEvent", "Profiler"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ProfileEvent:
+    # Not frozen: a frozen dataclass pays object.__setattr__ per field on
+    # every init, and this is the hottest allocation in a simulated run.
+    # Treat instances as immutable all the same — nothing may mutate a
+    # recorded event.
     time: float
     name: str
     uid: str
@@ -34,6 +38,19 @@ class Profiler:
 
     def event(self, name: str, uid: str = "", **attrs: Any) -> ProfileEvent:
         """Record one event stamped with the session clock."""
+        ev = ProfileEvent(self._clock(), name, uid, attrs)
+        with self._lock:
+            self._events.append(ev)
+        return ev
+
+    def record(self, name: str, uid: str, attrs: dict[str, Any]) -> ProfileEvent:
+        """Like :meth:`event` but takes the attrs dict directly.
+
+        Hot emitters (span open/close, metric points) build their attrs
+        dict anyway; handing it over instead of exploding it through
+        ``**kwargs`` skips one dict copy per event.  The caller must not
+        reuse or mutate *attrs* afterwards.
+        """
         ev = ProfileEvent(self._clock(), name, uid, attrs)
         with self._lock:
             self._events.append(ev)

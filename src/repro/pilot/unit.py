@@ -11,6 +11,10 @@ from repro.utils.ids import generate_id
 
 __all__ = ["ComputeUnit"]
 
+#: Gauge name per unit state, precomputed once — ``advance`` runs for every
+#: transition of every unit and must not rebuild these strings each time.
+_STATE_GAUGES = {state: f"units.{state.value}" for state in UnitState}
+
 
 class ComputeUnit:
     """Runtime handle of one task.
@@ -26,8 +30,10 @@ class ComputeUnit:
         self.description = description
         self.session = session
         self._state = UnitState.NEW
-        self._lock = threading.RLock()
-        self._final_event = threading.Event()
+        self._lock = threading.Lock()
+        # Created on first local-mode wait(); simulated runs churn through
+        # thousands of units and never block on one.
+        self._final_event: threading.Event | None = None
         self._callbacks: list[Callable[["ComputeUnit", UnitState], Any]] = []
         self.timestamps: dict[str, float] = {"NEW": session.now()}
         self.result: Any = None
@@ -41,9 +47,9 @@ class ComputeUnit:
         #: (populated on node kills when the retry policy excludes failed
         #: nodes).
         self.excluded_nodes: set[tuple[str, int]] = set()
-        metrics = getattr(session, "metrics", None)
-        if metrics is not None:
-            metrics.adjust("units.NEW", 1)
+        self._metrics = getattr(session, "metrics", None)
+        if self._metrics is not None:
+            self._metrics.adjust("units.NEW", 1)
 
     # -- state -----------------------------------------------------------------
 
@@ -59,17 +65,28 @@ class ComputeUnit:
             self.timestamps[target.value] = self.session.now()
             callbacks = list(self._callbacks)
         self.session.prof.event("unit_state", self.uid, state=target.value)
-        metrics = getattr(self.session, "metrics", None)
+        metrics = self._metrics
         if metrics is not None:
-            metrics.adjust(f"units.{previous.value}", -1)
-            metrics.adjust(f"units.{target.value}", 1)
+            metrics.adjust(_STATE_GAUGES[previous], -1)
+            metrics.adjust(_STATE_GAUGES[target], 1)
         for cb in callbacks:
             cb(self, target)
         if target.is_final:
-            self._final_event.set()
+            with self._lock:
+                event = self._final_event
+            if event is not None:
+                event.set()
 
     def add_callback(self, callback: Callable[["ComputeUnit", UnitState], Any]) -> None:
         self._callbacks.append(callback)
+
+    def remove_callback(
+        self, callback: Callable[["ComputeUnit", UnitState], Any]
+    ) -> None:
+        """Detach *callback* if attached (idempotent)."""
+        with self._lock:
+            if callback in self._callbacks:
+                self._callbacks.remove(callback)
 
     # -- introspection -----------------------------------------------------------
 
@@ -94,7 +111,13 @@ class ComputeUnit:
         """Block until final (local mode); immediate in simulated mode."""
         if getattr(self.session, "is_simulated", False):
             return self._state
-        self._final_event.wait(timeout)
+        with self._lock:
+            if self._state.is_final:
+                return self._state
+            if self._final_event is None:
+                self._final_event = threading.Event()
+            event = self._final_event
+        event.wait(timeout)
         return self._state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

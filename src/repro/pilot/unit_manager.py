@@ -212,12 +212,31 @@ class UnitManager:
         targets = units if units is not None else list(self.units)
         if self.session.is_simulated:
             sim = self.session.sim
-            while not all(u.state.is_final for u in targets):
-                if sim.step() is None:
-                    raise PilotError(
-                        "simulation drained before all units finished "
-                        "(is the pilot large enough and active?)"
-                    )
+            # Count completions through a temporary per-unit callback
+            # instead of rescanning every unit after every event — the
+            # rescan made large waits O(units × events).  Callbacks are
+            # client-side only (no trace events), so behavior and traces
+            # are unchanged.
+            open_units = [u for u in targets if not u.state.is_final]
+            remaining = len(open_units)
+            counter = {"open": remaining}
+
+            def _on_transition(_unit: ComputeUnit, state: UnitState) -> None:
+                if state.is_final:
+                    counter["open"] -= 1
+
+            for unit in open_units:
+                unit.add_callback(_on_transition)
+            try:
+                while counter["open"] > 0:
+                    if sim.step() is None:
+                        raise PilotError(
+                            "simulation drained before all units finished "
+                            "(is the pilot large enough and active?)"
+                        )
+            finally:
+                for unit in open_units:
+                    unit.remove_callback(_on_transition)
             return [u.state for u in targets]
 
         deadline = None if timeout is None else self.session.now() + timeout

@@ -94,11 +94,13 @@ class MetricsRegistry:
             if series is None:
                 series = MetricSeries(name=name, kind=kind)
                 self._series[name] = series
-            if delta:
-                value += series.last
-            series.points.append((self._clock(), float(value)))
+            points = series.points
+            if delta and points:
+                value += points[-1][1]
+            value = float(value)
+            points.append((self._clock(), value))
         if self._emit is not None:
-            self._emit("metric", name, value=float(value), kind=kind)
+            self._emit("metric", name, value=value, kind=kind)
 
     def count(self, name: str, delta: float = 1.0) -> None:
         """Increment counter *name* by *delta*; records the new total."""

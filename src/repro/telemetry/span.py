@@ -134,18 +134,18 @@ class Tracer:
         uid = generate_id("span", width=6)
         stack = self._stack()
         parent = stack[-1] if stack else ""
-        payload = dict(attrs)
+        payload = {"span": name, "ref": ref, "parent": parent}
+        payload.update(attrs)
         if component:
             payload["component"] = component
-        self._prof.event("span_open", uid, span=name, ref=ref, parent=parent,
-                         **payload)
+        self._prof.record("span_open", uid, payload)
         return uid
 
     def end(self, uid: str) -> None:
         """Close a span opened with :meth:`begin`."""
         if self._prof is None or not uid:
             return
-        self._prof.event("span_close", uid)
+        self._prof.record("span_close", uid, {})
 
     @contextmanager
     def span(

@@ -178,3 +178,68 @@ class TestFaultsOffIsABitIdenticalNoOp:
             "unit_requeue", "pilot_fault", "pilot_resubmit", "agent_suspend",
             "agent_abort", "task_fault", "entk_task_retry",
         }
+
+
+class TestGoldenTraceHashes:
+    """Pinned Chrome-export digests: cross-*version* determinism.
+
+    The same-seed tests above prove two runs of the *current* code
+    match each other; these golden hashes additionally pin the trace
+    bytes across code changes.  They were captured before the indexed
+    scheduler / event-loop rewrite and must survive any optimization
+    that claims to be behavior-preserving.  If a PR changes them on
+    purpose (a genuine semantic change to scheduling or tracing), it
+    must say so and re-pin.
+    """
+
+    GOLDEN = {
+        "eop_plain_seed7":
+            "c0cd596b7bd02e5d72b02a74070e837c2c8914feb19349a662bdff450120688f",
+        "eop_faults_seed7":
+            "430cdc69a93faae35b57bf9994dfe47009d14b5f8e1f118528758712203e776a",
+        "ee_faults_seed3":
+            "1e3eca2779e8ebf2201ea95b8b7f7fb6cf1066b99e850f0caf730d500c7a8b2f",
+        "bag_task_node_faults_seed11":
+            "59576605cc611f1fafef1b386fa985fc273163456bf33ded972e856ba4c9efd8",
+    }
+
+    @staticmethod
+    def _digest(events):
+        import hashlib
+        import json
+
+        from repro.telemetry.export import chrome_trace
+
+        payload = json.dumps(
+            chrome_trace(events), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def test_eop_plain_seed7(self):
+        events = trace(
+            lambda: TwoStageEoP(ensemble_size=48, pipeline_size=2), seed=7
+        )
+        assert self._digest(events) == self.GOLDEN["eop_plain_seed7"]
+
+    def test_eop_faults_seed7(self):
+        events = trace(
+            lambda: TwoStageEoP(ensemble_size=48, pipeline_size=2),
+            seed=7, **FAULT_KWARGS,
+        )
+        assert self._digest(events) == self.GOLDEN["eop_faults_seed7"]
+
+    def test_ee_faults_seed3(self):
+        events = trace(
+            lambda: SleepEE(ensemble_size=32, iterations=2),
+            seed=3, **FAULT_KWARGS,
+        )
+        assert self._digest(events) == self.GOLDEN["ee_faults_seed3"]
+
+    def test_bag_task_node_faults_seed11(self):
+        events = trace(
+            lambda: FaultedBag(size=64),
+            seed=11, fault_rate=0.2, **FAULT_KWARGS,
+        )
+        assert self._digest(events) == self.GOLDEN[
+            "bag_task_node_faults_seed11"
+        ]

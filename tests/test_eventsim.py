@@ -172,3 +172,42 @@ def test_random_streams_spawn_is_independent():
     child = parent.spawn("agent")
     assert child.seed != parent.seed
     assert child.get("x").random() != parent.get("x").random()
+
+
+def test_cancel_executed_event_does_not_leak():
+    """Regression: cancelling a completed event left its seq forever."""
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.cancel(event)  # already executed: must be a no-op
+    assert sim._cancelled == set()
+    assert sim.pending == 0
+
+
+def test_cancel_is_idempotent_and_tombstones_drain():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.cancel(event)
+    sim.cancel(event)  # double-cancel must not double-count
+    assert len(sim._cancelled) == 1
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    # Popping the cancelled entry discards its tombstone.
+    assert sim._cancelled == set()
+
+
+def test_heavy_cancellation_purges_heap():
+    sim = Simulator()
+    kept = [sim.schedule(1000.0 + i, lambda: None) for i in range(4)]
+    doomed = [sim.schedule(float(i % 11), lambda: None) for i in range(2000)]
+    for event in doomed:
+        sim.cancel(event)
+    # The purge threshold was crossed along the way: most dead entries
+    # are gone from the heap (not just tombstoned), and the tombstone
+    # set stays bounded by the threshold instead of growing with the
+    # cancellation count.
+    assert len(sim._heap) < len(doomed) // 2
+    assert len(sim._cancelled) <= 1000
+    assert sim.pending == len(kept)
+    sim.run()
+    assert sim.events_processed == len(kept)

@@ -1,0 +1,133 @@
+"""Tests for the parallel sweep runner and the on-disk run cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import RunCache, run_sweep
+
+#: Evaluation counter for cache tests (serial, in-process evaluations only).
+_CALLS: list[dict] = []
+
+
+def _square_point(point: dict) -> dict:
+    _CALLS.append(point)
+    return {"x": point["x"], "y": point["x"] * point["x"]}
+
+
+def _identity_point(point: dict) -> dict:
+    return dict(point)
+
+
+class TestRunSweep:
+    def test_serial_preserves_point_order(self):
+        points = [{"x": x} for x in (3, 1, 2)]
+        records = run_sweep(_identity_point, points)
+        assert [r["x"] for r in records] == [3, 1, 2]
+
+    def test_parallel_matches_serial_record_for_record(self):
+        points = [{"x": x} for x in range(8)]
+        serial = run_sweep(_square_point, points)
+        parallel = run_sweep(_square_point, points, parallel=4)
+        assert parallel == serial
+
+    def test_empty_sweep(self):
+        assert run_sweep(_identity_point, []) == []
+
+    def test_parallel_one_falls_back_to_serial(self):
+        points = [{"x": 5}]
+        assert run_sweep(_square_point, points, parallel=4) == [
+            {"x": 5, "y": 25}
+        ]
+
+
+class TestRunCache:
+    def test_roundtrip(self, tmp_path):
+        cache = RunCache(tmp_path)
+        point = {"resource": "xsede.stampede", "cores": 16, "seed": 0}
+        assert cache.get(point) is None
+        cache.put(point, {"ttc": 42.0})
+        assert cache.get(point) == {"ttc": 42.0}
+        assert len(cache) == 1
+
+    def test_key_covers_every_field(self, tmp_path):
+        cache = RunCache(tmp_path)
+        base = {"resource": "xsede.stampede", "cores": 16, "seed": 0}
+        for variant in (
+            {**base, "cores": 32},
+            {**base, "seed": 1},
+            {**base, "resource": "xsede.comet"},
+            {**base, "duration_ps": 6.0},
+        ):
+            assert cache.key(variant) != cache.key(base)
+
+    def test_key_is_order_insensitive(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.key({"a": 1, "b": 2}) == cache.key({"b": 2, "a": 1})
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        point = {"cores": 8, "seed": 3}
+        cache.put(point, {"ttc": 1.0})
+        cache.path(point).write_text("{ not json")
+        assert cache.get(point) is None
+
+    def test_mismatched_stored_point_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        point = {"cores": 8, "seed": 3}
+        cache.put(point, {"ttc": 1.0})
+        cache.path(point).write_text(
+            json.dumps({"point": {"cores": 9, "seed": 3},
+                        "record": {"ttc": 1.0}})
+        )
+        assert cache.get(point) is None
+
+    def test_sweep_skips_cached_points(self, tmp_path):
+        cache = RunCache(tmp_path)
+        points = [{"x": x} for x in range(5)]
+        _CALLS.clear()
+        first = run_sweep(_square_point, points, cache=cache)
+        assert len(_CALLS) == 5
+        again = run_sweep(_square_point, points, cache=cache)
+        assert len(_CALLS) == 5  # no re-evaluation
+        assert again == first
+        # A new point evaluates exactly once more.
+        extended = run_sweep(
+            _square_point, points + [{"x": 99}], cache=cache
+        )
+        assert len(_CALLS) == 6
+        assert extended[:5] == first
+
+
+class TestFigureSweeps:
+    """S4: ``--parallel`` sweeps match serial sweeps record-for-record."""
+
+    CORES = (4, 8, 16)
+
+    @pytest.mark.parametrize("figure", ["fig5", "fig7"])
+    def test_parallel_figure_matches_serial(self, figure):
+        from repro.experiments import fig5, fig7
+
+        module = {"fig5": fig5, "fig7": fig7}[figure]
+        small = (
+            {"replicas": 16} if figure == "fig5" else {"simulations": 16}
+        )
+        serial = module.run(core_counts=self.CORES, **small)
+        parallel = module.run(core_counts=self.CORES, parallel=4, **small)
+        assert parallel.rows == serial.rows
+        assert parallel.claims == serial.claims
+
+    def test_figure_cache_reuses_points(self, tmp_path):
+        from repro.experiments import fig5
+
+        cold = fig5.run(
+            replicas=16, core_counts=self.CORES, cache_dir=tmp_path
+        )
+        assert len(list(tmp_path.glob("*.json"))) == len(self.CORES)
+        warm = fig5.run(
+            replicas=16, core_counts=self.CORES, cache_dir=tmp_path
+        )
+        assert warm.rows == cold.rows
+        assert warm.claims == cold.claims
