@@ -6,16 +6,26 @@ currently on NSF Blue Waters".  These benchmarks push the reproduction's
 runtime through exactly those envelopes and verify it stays linear:
 every task completes, core accounting holds, and the toolkit overhead per
 task stays flat from 1K to 10K tasks.
+
+Beyond the paper's envelope, the *memory* envelope: with the columnar
+unit store, batched lifecycle transitions (``bulk_lifecycle=True``) and
+a trace spool file, one run sustains 10^6 units in bounded memory.  The
+``units_1e6`` case measures exactly that (tracemalloc peak + wall time);
+the committed numbers live in ``BENCH_micro.json`` and
+``docs/performance.md``.
 """
 
 import os
+import time
+import tracemalloc
 
 from repro.analytics.validation import check_core_accounting
 from repro.core.kernel_plugin import Kernel
-from repro.core.patterns import BagOfTasks
+from repro.core.patterns import BagOfTasks, EnsembleOfPipelines
 from repro.core.profiler import breakdown_from_profile
 from repro.core.resource_handle import ResourceHandle
 from repro.experiments.parallel import run_sweep
+from repro.utils.ids import reset_id_counters
 
 #: Worker processes for the multi-point envelope sweep (0 = serial).
 #: pytest owns the command line here, so the "--parallel N" switch of
@@ -76,6 +86,108 @@ def test_10k_tasks_on_bluewaters(benchmark):
     pattern, breakdown = benchmark.pedantic(run, rounds=1, iterations=1)
     assert breakdown.ntasks == 10_000
     assert all(u.state.value == "DONE" for u in pattern.units)
+
+
+class TwoStageEoP(EnsembleOfPipelines):
+    """The memory-envelope workload: n/2 pipelines of two sleep stages.
+
+    Two stages halve the transient kernel-object spike of the initial
+    bulk submission relative to a flat bag of the same unit count, which
+    is what a real ensemble looks like.
+    """
+
+    def stage_1(self, instance):
+        kernel = Kernel(name="misc.sleep")
+        kernel.arguments = ["--duration=40"]
+        return kernel
+
+    def stage_2(self, instance):
+        kernel = Kernel(name="misc.sleep")
+        kernel.arguments = ["--duration=20"]
+        return kernel
+
+
+def run_memory_envelope(n_units: int, *, bulk: bool = False,
+                        spool_dir=None, cores: int = 10_016) -> dict:
+    """One EoP run of *n_units* under tracemalloc; the envelope point.
+
+    Returns peak resident bytes (the whole run: session, pattern, driver,
+    trace), bytes per unit, wall seconds and the virtual TTC — which must
+    not depend on ``bulk``/``spool_dir`` (asserted by the tests below).
+    """
+    reset_id_counters()
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    handle = ResourceHandle(
+        "ncsa.bluewaters", cores=cores, walltime=24 * 60, mode="sim",
+        bulk_lifecycle=bulk, spool_dir=spool_dir,
+    )
+    handle.allocate()
+    pattern = TwoStageEoP(ensemble_size=n_units // 2, pipeline_size=2)
+    try:
+        handle.run(pattern)
+    finally:
+        handle.deallocate()
+    wall = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    n_done = sum(u.state.value == "DONE" for u in pattern.units)
+    return {
+        "n_units": n_units,
+        "bulk": bulk,
+        "spooled": spool_dir is not None,
+        "peak_bytes": peak,
+        "bytes_per_unit": round(peak / n_units, 1),
+        "wall_s": round(wall, 2),
+        "sim_ttc_s": handle.session.now(),
+        "n_done": n_done,
+    }
+
+
+def test_memory_envelope_bulk_spool_is_5x_smaller(benchmark, tmp_path):
+    """At 10^5 units, bulk+spool must cut peak bytes/unit >= 5x.
+
+    The resident run keeps the classic per-unit trace in memory — the
+    pre-columnar behaviour's closest living proxy; the envelope run
+    streams its trace and batches its transitions.  Virtual time must be
+    identical: the envelope is a representation change, not a semantic
+    one.
+    """
+
+    def run():
+        resident = run_memory_envelope(100_000)
+        envelope = run_memory_envelope(
+            100_000, bulk=True, spool_dir=tmp_path
+        )
+        return resident, envelope
+
+    resident, envelope = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("resident:", resident)
+    print("envelope:", envelope)
+    assert resident["n_done"] == envelope["n_done"] == 100_000
+    assert envelope["sim_ttc_s"] == resident["sim_ttc_s"]
+    assert resident["peak_bytes"] >= 5 * envelope["peak_bytes"], (
+        f"expected >=5x envelope reduction, got "
+        f"{resident['peak_bytes'] / envelope['peak_bytes']:.1f}x"
+    )
+
+
+def test_units_1e6(benchmark, tmp_path):
+    """The million-unit envelope: one EoP run, 10^6 units, bounded memory."""
+
+    def run():
+        return run_memory_envelope(
+            1_000_000, bulk=True, spool_dir=tmp_path
+        )
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("units_1e6:", record)
+    assert record["n_done"] == 1_000_000
+    # The envelope promise: well under 2 KB resident per unit, i.e. a
+    # million-unit run fits in a 2 GB budget with room to spare.
+    assert record["bytes_per_unit"] < 2048
 
 
 def test_overhead_per_task_flat_from_1k_to_10k(benchmark):

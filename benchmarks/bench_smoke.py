@@ -4,14 +4,21 @@ Runs shrunken versions of the ``bench_runtime_micro.py`` cases without
 needing pytest-benchmark and emits ``BENCH_micro.json`` — one record per
 case::
 
-    {"bench": <name>, "config": {...}, "wall_s": <float>, "sim_ttc_s": <float>}
+    {"bench": <name>, "config": {...}, "wall_s": <float>,
+     "peak_kb": <float>, "sim_ttc_s": <float>}
 
 ``wall_s`` is this machine's wall time (informational, machine-dependent);
-``sim_ttc_s`` is the *virtual* outcome of the same run, which is a pure
-function of (workload, seed) and therefore must match the committed
-baseline bit-for-bit on every machine.  ``--check`` verifies exactly that,
-giving CI a cheap end-to-end regression gate over the DES, the pilot
-state model, the batch queue and the pattern layer.
+``peak_kb`` is the tracemalloc peak of one dedicated pass (informational,
+non-gating — measured separately so the allocation tracer never pollutes
+``wall_s``); ``sim_ttc_s`` is the *virtual* outcome of the same run, which
+is a pure function of (workload, seed) and therefore must match the
+committed baseline bit-for-bit on every machine.  ``--check`` verifies
+exactly that, giving CI a cheap end-to-end regression gate over the DES,
+the pilot state model, the batch queue and the pattern layer.
+
+``--spool DIR`` additionally reruns the EoP case with the trace streamed
+to an NDJSON spool file in DIR (kept as a CI artifact) and gates that the
+spooled run's virtual outcome is identical.
 
 Usage::
 
@@ -25,6 +32,7 @@ import argparse
 import json
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 from repro.utils.ids import reset_id_counters
@@ -139,7 +147,7 @@ def bench_sched_pressure() -> tuple[dict, float]:
     return {"units": n, "cores": cores}, ttc
 
 
-def bench_pattern_eop() -> tuple[dict, float]:
+def bench_pattern_eop(spool_dir: str | None = None) -> tuple[dict, float]:
     from repro.core.kernel_plugin import Kernel
     from repro.core.patterns import EnsembleOfPipelines
     from repro.core.profiler import breakdown_from_profile
@@ -159,7 +167,8 @@ def bench_pattern_eop() -> tuple[dict, float]:
     size, cores = 16, 16
     pattern = EoP(ensemble_size=size, pipeline_size=2)
     handle = ResourceHandle(
-        "xsede.comet", cores=cores, walltime=600, mode="sim", seed=0
+        "xsede.comet", cores=cores, walltime=600, mode="sim", seed=0,
+        spool_dir=spool_dir,
     )
     handle.allocate()
     try:
@@ -201,16 +210,58 @@ def run_cases(repeats: int = REPEATS) -> list[dict]:
             raise AssertionError(
                 f"{name}: sim_ttc_s varies across repeats: {ttcs!r}"
             )
+        # One dedicated pass under tracemalloc: the tracer costs 2-4x in
+        # wall time, so it must never run during the timed repeats.
+        reset_id_counters()
+        tracemalloc.start()
+        _, memory_ttc = fn()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        if memory_ttc != ttcs[0]:
+            raise AssertionError(
+                f"{name}: sim_ttc_s differs under tracemalloc: "
+                f"{memory_ttc!r} != {ttcs[0]!r}"
+            )
         records.append(
             {
                 "bench": name,
                 "config": config,
                 "wall_s": round(wall, 4),
+                "peak_kb": round(peak / 1024, 1),
                 "sim_ttc_s": ttcs[0],
             }
         )
-        print(f"{name:<28} wall {wall:8.3f} s   sim ttc {ttcs[0]:12.3f} s")
+        print(f"{name:<28} wall {wall:8.3f} s   peak {peak / 1024:9.1f} KiB"
+              f"   sim ttc {ttcs[0]:12.3f} s")
     return records
+
+
+def run_spooled_case(spool_dir: str, expected_ttc: float) -> dict:
+    """The EoP case with its trace streamed to a spool file in *spool_dir*.
+
+    The spool file is the CI artifact proving the streaming path works
+    end-to-end; the virtual outcome must be identical to the resident run.
+    """
+    Path(spool_dir).mkdir(parents=True, exist_ok=True)
+    reset_id_counters()
+    t0 = time.perf_counter()
+    config, sim_ttc = bench_pattern_eop(spool_dir=spool_dir)
+    wall = time.perf_counter() - t0
+    if sim_ttc != expected_ttc:
+        raise AssertionError(
+            f"pattern_eop_spooled: sim_ttc_s {sim_ttc!r} != resident run "
+            f"{expected_ttc!r} (spooling must not change outcomes)"
+        )
+    spools = sorted(Path(spool_dir).glob("*.trace.jsonl"))
+    record = {
+        "bench": "pattern_eop_spooled",
+        "config": config,
+        "wall_s": round(wall, 4),
+        "sim_ttc_s": sim_ttc,
+    }
+    print(f"{'pattern_eop_spooled':<28} wall {wall:8.3f} s   "
+          f"sim ttc {sim_ttc:12.3f} s   spool {spools[-1].name}")
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -221,9 +272,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="compare sim_ttc_s against a committed baseline")
     parser.add_argument("--repeats", type=int, default=REPEATS,
                         help="wall-time repeats per case (min is recorded)")
+    parser.add_argument("--spool", metavar="DIR", default=None,
+                        help="also run the EoP case spooled, writing its "
+                             "NDJSON trace into DIR (kept as CI artifact)")
     args = parser.parse_args(argv)
 
     records = run_cases(repeats=args.repeats)
+    if args.spool:
+        eop = next(r for r in records if r["bench"] == "pattern_eop")
+        records.append(run_spooled_case(args.spool, eop["sim_ttc_s"]))
 
     if args.output:
         Path(args.output).write_text(json.dumps(records, indent=2) + "\n")

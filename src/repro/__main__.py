@@ -79,10 +79,13 @@ def cmd_figure(args) -> int:
                   file=sys.stderr)
     if args.trace_out:
         harness.set_trace_out(args.trace_out)
+    if args.spool:
+        harness.set_spool_dir(args.spool)
     try:
         result = module.run(**kwargs)
     finally:
         harness.set_trace_out(None)
+        harness.set_spool_dir(None)
     result.print_report()
     return 0 if result.all_claims_hold else 1
 
@@ -160,6 +163,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="reduced parameters for a quick run")
     figure.add_argument("--trace-out", metavar="DIR", default=None,
                         help="dump a Chrome trace per run into DIR")
+    figure.add_argument("--spool", metavar="DIR", default=None,
+                        help="stream run traces to NDJSON spool files in "
+                             "DIR instead of keeping them in memory "
+                             "(bounded-memory runs; identical content)")
     figure.add_argument("--parallel", type=int, default=0, metavar="N",
                         help="run sweep points across N worker processes "
                              "(figures built on the sweep runner)")

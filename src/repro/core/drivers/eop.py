@@ -23,6 +23,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["EnsembleOfPipelinesDriver"]
 
+#: Shared read-only placeholder map for pipelines with no recorded
+#: sandboxes yet (staging resolution only ever reads these dicts).
+_NO_PLACEHOLDERS: dict[str, str] = {}
+
 
 class EnsembleOfPipelinesDriver(PatternDriver):
     """Executes :class:`~repro.core.patterns.pipeline.EnsembleOfPipelines`."""
@@ -32,12 +36,24 @@ class EnsembleOfPipelinesDriver(PatternDriver):
         #: pipelines still making progress (instance numbers).
         self._live: set[int] = set()
         #: stage sandbox uids per pipeline: {instance: {"STAGE_1": uid}}.
+        #: Populated lazily — a single-stage pattern (every bag of tasks)
+        #: never records anything, and the final stage of any pipeline is
+        #: skipped because no later stage can reference its sandbox.  At
+        #: the million-unit scale the eager dict-per-pipeline version was
+        #: a measurable resident term.
         self._sandboxes: dict[int, dict[str, str]] = {}
+
+    def _record_sandbox(self, instance: int, stage: int, uid: str) -> None:
+        if stage >= self.pattern.pipeline_size:
+            return
+        self._sandboxes.setdefault(instance, {})[f"STAGE_{stage}"] = uid
+
+    def _placeholders(self, instance: int) -> dict[str, str]:
+        return self._sandboxes.get(instance, _NO_PLACEHOLDERS)
 
     def start(self) -> None:
         pattern = self.pattern
         self._live = set(range(1, pattern.ensemble_size + 1))
-        self._sandboxes = {p: {} for p in self._live}
         requests = []
         for instance in sorted(self._live):
             kernel = pattern.get_stage(1, instance)
@@ -45,13 +61,12 @@ class EnsembleOfPipelinesDriver(PatternDriver):
                 SubmitRequest(
                     kernel=kernel,
                     tags={"stage": 1, "instance": instance},
-                    placeholders=self._sandboxes[instance],
+                    placeholders=_NO_PLACEHOLDERS,
                 )
             )
         units = self.submit(requests)
         for request, unit in zip(requests, units):
-            instance = request.tags["instance"]
-            self._sandboxes[instance]["STAGE_1"] = unit.uid
+            self._record_sandbox(request.tags["instance"], 1, unit.uid)
 
     def on_unit_final(self, unit: "ComputeUnit") -> None:
         tags = unit.description.tags
@@ -72,12 +87,12 @@ class EnsembleOfPipelinesDriver(PatternDriver):
         request = SubmitRequest(
             kernel=kernel,
             tags={"stage": next_stage, "instance": instance},
-            placeholders=self._sandboxes[instance],
+            placeholders=self._placeholders(instance),
         )
         self.queue_submission(
             request,
             on_submitted=lambda unit, i=instance, s=next_stage: (
-                self._sandboxes[i].__setitem__(f"STAGE_{s}", unit.uid)
+                self._record_sandbox(i, s, unit.uid)
             ),
         )
 
@@ -85,7 +100,7 @@ class EnsembleOfPipelinesDriver(PatternDriver):
         instance = old.description.tags["instance"]
         stage = old.description.tags["stage"]
         with self._lock:
-            self._sandboxes[instance][f"STAGE_{stage}"] = new.uid
+            self._record_sandbox(instance, stage, new.uid)
 
     @property
     def done(self) -> bool:

@@ -65,6 +65,10 @@ class ResourceHandle:
         node/pilot failures.
     agent_policy, slot_strategy:
         Agent scheduling knobs (see :class:`repro.pilot.agent.Agent`).
+    spool_dir, bulk_lifecycle:
+        Scale-envelope knobs: stream the trace to an NDJSON spool file,
+        and move homogeneous unit batches through the state machine in
+        bulk (see :class:`repro.pilot.session.Session`).
     overheads:
         EnTK client-side cost model used under simulation.
     """
@@ -89,6 +93,8 @@ class ResourceHandle:
         agent_policy: str = "backfill",
         slot_strategy: str = "scattered",
         sandbox=None,
+        spool_dir=None,
+        bulk_lifecycle: bool = False,
         overheads: EnTKOverheadModel | None = None,
     ) -> None:
         self.resource = resource
@@ -109,6 +115,8 @@ class ResourceHandle:
         self.agent_policy = agent_policy
         self.slot_strategy = slot_strategy
         self.sandbox = sandbox
+        self.spool_dir = spool_dir
+        self.bulk_lifecycle = bulk_lifecycle
         self.overheads = overheads or EnTKOverheadModel()
 
         self.session: Session | None = None
@@ -160,6 +168,8 @@ class ResourceHandle:
             pilot_mtbf=self.pilot_mtbf,
             max_pilot_resubmits=self.max_pilot_resubmits,
             retry_policy=self.retry_policy,
+            spool_dir=self.spool_dir,
+            bulk_lifecycle=self.bulk_lifecycle,
         )
         prof = self.session.prof
         prof.event("entk_init_start", self.session.uid)

@@ -14,6 +14,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "run_on_sim", "kernel_phase_times", "run_on_local", "set_trace_out",
+    "set_spool_dir",
 ]
 
 #: When set (``--trace-out DIR`` on the figure CLI, or
@@ -21,11 +22,23 @@ __all__ = [
 #: session next to the figure's result artifacts: ``<uid>.trace.json``.
 _TRACE_OUT: Path | None = None
 
+#: When set (``--spool DIR`` on the figure CLI, or :func:`set_spool_dir`),
+#: every run streams its event trace to an NDJSON spool file under the
+#: directory instead of keeping it resident (see
+#: :mod:`repro.telemetry.sink`).  Trace content is identical either way.
+_SPOOL_DIR: Path | None = None
+
 
 def set_trace_out(directory: str | Path | None) -> None:
     """Dump a Chrome trace per run into *directory* (``None`` disables)."""
     global _TRACE_OUT
     _TRACE_OUT = None if directory is None else Path(directory)
+
+
+def set_spool_dir(directory: str | Path | None) -> None:
+    """Stream run traces to spool files in *directory* (``None`` disables)."""
+    global _SPOOL_DIR
+    _SPOOL_DIR = None if directory is None else Path(directory)
 
 
 def _dump_trace(pattern: "ExecutionPattern", handle: ResourceHandle,
@@ -51,6 +64,8 @@ def run_on_sim(
     **handle_kwargs,
 ) -> tuple["ExecutionPattern", ResourceHandle, OverheadBreakdown]:
     """Run *pattern* on a simulated platform; return it with its breakdown."""
+    if _SPOOL_DIR is not None:
+        handle_kwargs.setdefault("spool_dir", _SPOOL_DIR)
     handle = ResourceHandle(
         resource=resource,
         cores=cores,

@@ -72,19 +72,25 @@ class RunCache:
         return self.directory / f"{self.key(point)}.json"
 
     def get(self, point: Point) -> Record | None:
-        """The cached record for *point*, or ``None`` on any miss."""
+        """The cached record for *point*, or ``None`` on any miss.
+
+        Any defect in the cached file — unreadable, truncated mid-write,
+        binary garbage, valid JSON of the wrong shape, or a stored point
+        that does not match — degrades to a miss; the caller recomputes
+        and :meth:`put` overwrites the bad file.
+        """
         try:
             data = json.loads(self.path(point).read_text())
-        except (OSError, ValueError):
+            if not isinstance(data, dict):
+                return None
+            stored = data.get("point")
+            if stored is None or _canonical(stored) != _canonical(
+                json.loads(_canonical(point))
+            ):
+                return None
+            return data.get("record")
+        except (OSError, TypeError, ValueError):
             return None
-        if not isinstance(data, dict):
-            return None
-        stored = data.get("point")
-        if stored is None or _canonical(stored) != _canonical(
-            json.loads(_canonical(point))
-        ):
-            return None
-        return data.get("record")
 
     def put(self, point: Point, record: Record) -> Path:
         """Persist *record* for *point* (atomic: write temp, rename)."""

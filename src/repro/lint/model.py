@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 __all__ = ["Finding"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Finding:
     """One diagnostic produced by a lint rule."""
 

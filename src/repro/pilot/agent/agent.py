@@ -95,6 +95,9 @@ class Agent:
         self._launch_times: dict[str, float] = {}
         self._tracer = getattr(session, "tracer", None) or Tracer(None)
         self._metrics = getattr(session, "metrics", None)
+        #: Batched lifecycle (``Session(bulk_lifecycle=True)``): accept,
+        #: launch and complete homogeneous batches with per-batch events.
+        self._bulk = bool(getattr(session, "bulk_lifecycle", False))
 
         if session.is_simulated:
             self.stager = SimStager(session.sim_context, tracer=self._tracer)
@@ -237,7 +240,10 @@ class Agent:
     def submit_units(self, units: list["ComputeUnit"]) -> None:
         """Accept units from the unit manager (any time after creation)."""
         with self._tracer.span("agent.submit", self.pilot.uid, n=len(units)):
-            self._accept_units(units)
+            if self._bulk:
+                self._accept_units_bulk(units)
+            else:
+                self._accept_units(units)
 
     def _accept_units(self, units: list["ComputeUnit"]) -> None:
         for unit in units:
@@ -258,6 +264,52 @@ class Agent:
                 unit.exception = exc
                 unit.advance(UnitState.FAILED)
                 self._notify_final(unit)
+
+    def _accept_units_bulk(self, units: list["ComputeUnit"]) -> None:
+        """Batched acceptance: one state transition and one staging event
+        per batch.  Notional sandboxes are only registered for units that
+        actually stage data, so a million no-staging units do not allocate
+        a million ``Path`` objects."""
+        store = self.session.unit_store
+        fit: list["ComputeUnit"] = []
+        for unit in units:
+            if unit.description.cores > self.slots.total_cores:
+                unit.advance(UnitState.FAILED)
+                unit.exception = SchedulingError(
+                    f"unit {unit.uid} wants {unit.description.cores} cores; "
+                    f"pilot {self.pilot.uid} holds {self.slots.total_cores}"
+                )
+                self._notify_final(unit)
+                continue
+            unit.pilot_uid = self.pilot.uid
+            if (
+                unit.description.input_staging
+                or unit.description.output_staging
+            ):
+                self.stager.register_unit(unit)
+            fit.append(unit)
+        if not fit:
+            return
+        store.advance_many(fit, UnitState.AGENT_STAGING_INPUT)
+        self.stager.stage_in_bulk(fit, self._on_staged_in_bulk)
+
+    def _on_staged_in_bulk(self, units: list["ComputeUnit"]) -> None:
+        if self._cancelled:
+            cancelled = [u for u in units if u.uid in self._cancelled]
+            if cancelled:
+                units = [u for u in units if u.uid not in self._cancelled]
+                self.session.unit_store.advance_many(
+                    cancelled, UnitState.CANCELED
+                )
+                for unit in cancelled:
+                    self._notify_final(unit)
+        if not units:
+            return
+        self.session.unit_store.advance_many(units, UnitState.AGENT_SCHEDULING)
+        with self._lock:
+            for unit in units:
+                self._waiting_add(unit)
+        self._reschedule()
 
     def cancel_unit(self, unit: "ComputeUnit") -> None:
         """Cancel a unit; waiting units are dequeued, running ones flagged."""
@@ -395,6 +447,21 @@ class Agent:
             )
             unit.advance(UnitState.FAILED)
             self._notify_final(unit)
+        if not launched:
+            return
+        if self._bulk:
+            store = self.session.unit_store
+            for unit in launched:
+                store.set_attempts(unit._i, store.attempts(unit._i) + 1)
+            # One placement event per pass; per-unit wasted-time
+            # bookkeeping (_launch_times) is skipped — bulk mode
+            # excludes the fault machinery that consumes it.
+            self.session.prof.event(
+                "units_slots", launched[0].uid,
+                n=len(launched), pilot=self.pilot.uid,
+            )
+            self.executor.launch_units(launched, self._on_units_done)
+            return
         for unit in launched:
             unit.attempts += 1
             self._launch_times[unit.uid] = self.session.now()
@@ -475,7 +542,7 @@ class Agent:
                 f"{self.pilot.uid} crashing"
             )
             if policy is not None and policy.exclude_failed_nodes:
-                unit.excluded_nodes.add((self.pilot.uid, node))
+                unit.exclude_node(self.pilot.uid, node)
         unit.exception = exc
         if self._unit_killed_cb is not None:
             self._unit_killed_cb(unit, exc)
@@ -510,6 +577,36 @@ class Agent:
             unit.advance(UnitState.FAILED)
             self._notify_final(unit)
         self._reschedule()
+
+    def _on_units_done(self, units: list["ComputeUnit"]) -> None:
+        """Bulk completion from the executor (always successful: bulk
+        mode excludes fault injection, and modelled runs cannot fail)."""
+        with self._lock:
+            for unit in units:
+                self._executing.pop(unit.uid, None)
+                slots = unit.slots
+                if slots:
+                    self.slots.dealloc(slots)
+        self.session.unit_store.advance_many(
+            units, UnitState.AGENT_STAGING_OUTPUT
+        )
+        self.stager.stage_out_bulk(units, self._on_staged_out_bulk)
+        self._reschedule()
+
+    def _on_staged_out_bulk(self, units: list["ComputeUnit"]) -> None:
+        store = self.session.unit_store
+        if self._cancelled:
+            cancelled = [u for u in units if u.uid in self._cancelled]
+            if cancelled:
+                finished = [u for u in units if u.uid not in self._cancelled]
+                store.advance_many(finished, UnitState.DONE)
+                store.advance_many(cancelled, UnitState.CANCELED)
+                for unit in units:
+                    self._notify_final(unit)
+                return
+        store.advance_many(units, UnitState.DONE)
+        for unit in units:
+            self._notify_final(unit)
 
     def _on_staged_out(self, unit: "ComputeUnit") -> None:
         if unit.uid in self._cancelled:

@@ -155,6 +155,9 @@ class SimExecutor:
         #: Open ``exec.launch`` span per unit not yet started, so kills
         #: close the span at kill time instead of trace end.
         self._launch_spans: dict[str, str] = {}
+        #: Live bulk launch/exec groups (handle id -> handle dict whose
+        #: "event" key is the pending DES event), for shutdown cancellation.
+        self._groups: dict[int, dict[str, Any]] = {}
 
     def _adjust_busy(self, unit: "ComputeUnit", delta: int) -> None:
         if self._metrics is not None and unit.pilot_uid:
@@ -216,6 +219,64 @@ class SimExecutor:
             overhead, start, label=f"launch:{unit.uid}"
         )
 
+    def launch_units(
+        self,
+        units: list["ComputeUnit"],
+        on_done: Callable[[list["ComputeUnit"]], None],
+    ) -> None:
+        """Bulk launch (``Session(bulk_lifecycle=True)``): one launch and
+        one finish DES event per homogeneous (overhead, runtime) group.
+
+        Fault injection is excluded by construction (the session rejects
+        the combination), so there is no per-unit fault draw and no
+        per-unit kill bookkeeping; groups are tracked only so
+        :meth:`shutdown` can cancel what is still pending.
+        """
+        platform = self.context.platform
+        sim = self.context.sim
+        store = self.session.unit_store
+        groups: dict[tuple[float, float], list["ComputeUnit"]] = {}
+        for unit in units:
+            desc = unit.description
+            method = get_launch_method(desc)
+            overhead = method.launch_overhead(desc.cores, platform)
+            runtime = desc.modelled_runtime(platform) / platform.node.core_speed
+            groups.setdefault((overhead, runtime), []).append(unit)
+        for (overhead, runtime), group in groups.items():
+            cores = sum(u.description.cores for u in group)
+            first_uid = group[0].uid
+            span = self._tracer.begin("exec.launch", first_uid)
+            handle: dict[str, Any] = {}
+
+            def finish(group=group, cores=cores, handle=handle) -> None:
+                self._groups.pop(id(handle), None)
+                if self._metrics is not None and group[0].pilot_uid:
+                    self._metrics.adjust(
+                        f"agent.{group[0].pilot_uid}.cores_busy", -cores
+                    )
+                on_done(group)
+
+            # finish must be default-bound, not a free variable: start runs
+            # after this loop has moved on, when the enclosing `finish`
+            # name already points at the *last* group's callback.
+            def start(group=group, runtime=runtime, cores=cores,
+                      span=span, first_uid=first_uid,
+                      handle=handle, finish=finish) -> None:
+                self._tracer.end(span)
+                store.advance_many(group, UnitState.EXECUTING)
+                if self._metrics is not None and group[0].pilot_uid:
+                    self._metrics.adjust(
+                        f"agent.{group[0].pilot_uid}.cores_busy", cores
+                    )
+                handle["event"] = sim.schedule(
+                    runtime, finish, label=f"exec*{len(group)}:{first_uid}"
+                )
+
+            handle["event"] = sim.schedule(
+                overhead, start, label=f"launch*{len(group)}:{first_uid}"
+            )
+            self._groups[id(handle)] = handle
+
     def kill(self, unit: "ComputeUnit") -> None:
         """Cancel the unit's pending execution event (node/pilot death).
 
@@ -235,6 +296,9 @@ class SimExecutor:
         for event in self._inflight.values():
             self.context.sim.cancel(event)
         self._inflight.clear()
+        for handle in self._groups.values():
+            self.context.sim.cancel(handle["event"])
+        self._groups.clear()
         for uid in sorted(self._launch_spans):
             self._tracer.end(self._launch_spans[uid])
         self._launch_spans.clear()

@@ -146,3 +146,60 @@ class SimStager:
     def stage_out(self, unit: "ComputeUnit", done: Callable[[], None]) -> None:
         self._timed("agent.stage_out", unit,
                     self._cost(unit.description.output_staging), done)
+
+    # -- bulk lifecycle -----------------------------------------------------
+
+    def _timed_bulk(
+        self,
+        name: str,
+        units: list["ComputeUnit"],
+        costs: dict[float, list["ComputeUnit"]],
+        done: Callable[[list["ComputeUnit"]], None],
+    ) -> None:
+        """One span and one DES event per *cost group* instead of per unit.
+
+        The common case — no staging directives anywhere — is a single
+        zero-cost group, i.e. one event for the entire batch.
+        """
+        sim = self.context.sim
+        kind = name.partition(".")[2]
+        for cost, group in costs.items():
+            span = self._tracer.begin(name, group[0].uid)
+
+            def finish(group=group, span=span) -> None:
+                self._tracer.end(span)
+                done(group)
+
+            sim.schedule(
+                cost, finish, label=f"{kind}*{len(group)}:{group[0].uid}"
+            )
+
+    def _cost_groups(
+        self, units: list["ComputeUnit"], attr: str
+    ) -> dict[float, list["ComputeUnit"]]:
+        groups: dict[float, list["ComputeUnit"]] = {}
+        for unit in units:
+            directives = getattr(unit.description, attr)
+            cost = self._cost(directives) if directives else 0.0
+            groups.setdefault(cost, []).append(unit)
+        return groups
+
+    def stage_in_bulk(
+        self,
+        units: list["ComputeUnit"],
+        done: Callable[[list["ComputeUnit"]], None],
+    ) -> None:
+        self._timed_bulk(
+            "agent.stage_in", units,
+            self._cost_groups(units, "input_staging"), done,
+        )
+
+    def stage_out_bulk(
+        self,
+        units: list["ComputeUnit"],
+        done: Callable[[list["ComputeUnit"]], None],
+    ) -> None:
+        self._timed_bulk(
+            "agent.stage_out", units,
+            self._cost_groups(units, "output_staging"), done,
+        )

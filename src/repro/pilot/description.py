@@ -20,7 +20,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class ComputePilotDescription:
     """Request for one pilot (container job)."""
 
@@ -42,7 +42,7 @@ class ComputePilotDescription:
             raise BadParameter(f"unknown pilot mode {self.mode!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StagingDirective:
     """One data-staging action for a unit.
 
@@ -65,7 +65,7 @@ class StagingDirective:
             raise BadParameter("nbytes must be non-negative")
 
 
-@dataclass
+@dataclass(slots=True)
 class ComputeUnitDescription:
     """Description of one task.
 

@@ -5,42 +5,46 @@ Every state transition and every notable runtime action lands in one
 (:mod:`repro.analytics`) turns these traces into the paper's TTC and
 overhead decompositions; nothing else in the runtime ever reads the trace,
 so profiling cannot perturb scheduling decisions.
+
+Where appended events *live* is delegated to an
+:class:`~repro.telemetry.sink.EventSink`: the default
+:class:`~repro.telemetry.sink.MemorySink` keeps the historical
+everything-resident list, while a
+:class:`~repro.telemetry.sink.SpoolSink` streams events to an NDJSON
+spool file and keeps only a bounded ring in memory — the million-unit
+scale envelope.  ``ProfileEvent`` is defined next to the sinks and
+re-exported here under its historical import path.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.telemetry.sink import EventSink, MemorySink, ProfileEvent
+
 __all__ = ["ProfileEvent", "Profiler"]
-
-
-@dataclass(slots=True)
-class ProfileEvent:
-    # Not frozen: a frozen dataclass pays object.__setattr__ per field on
-    # every init, and this is the hottest allocation in a simulated run.
-    # Treat instances as immutable all the same — nothing may mutate a
-    # recorded event.
-    time: float
-    name: str
-    uid: str
-    attrs: dict[str, Any] = field(default_factory=dict)
 
 
 class Profiler:
     """Thread-safe, append-only event trace."""
 
-    def __init__(self, clock: Callable[[], float]) -> None:
+    def __init__(
+        self, clock: Callable[[], float], sink: EventSink | None = None
+    ) -> None:
         self._clock = clock
-        self._events: list[ProfileEvent] = []
+        self._sink: EventSink = MemorySink() if sink is None else sink
         self._lock = threading.Lock()
+
+    @property
+    def sink(self) -> EventSink:
+        return self._sink
 
     def event(self, name: str, uid: str = "", **attrs: Any) -> ProfileEvent:
         """Record one event stamped with the session clock."""
         ev = ProfileEvent(self._clock(), name, uid, attrs)
         with self._lock:
-            self._events.append(ev)
+            self._sink.append(ev)
         return ev
 
     def record(self, name: str, uid: str, attrs: dict[str, Any]) -> ProfileEvent:
@@ -53,36 +57,38 @@ class Profiler:
         """
         ev = ProfileEvent(self._clock(), name, uid, attrs)
         with self._lock:
-            self._events.append(ev)
+            self._sink.append(ev)
         return ev
 
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._sink)
 
     def __iter__(self) -> Iterator[ProfileEvent]:
         with self._lock:
-            return iter(list(self._events))
+            return iter(self._sink.events())
 
     def snapshot(self, since: int = 0) -> tuple[list[ProfileEvent], int]:
         """Incremental view: events recorded at index ``since`` onward.
 
         Returns ``(new_events, cursor)`` where ``cursor`` is the index
         to pass as ``since`` next time.  Because the trace is
-        append-only, repeated calls see every event exactly once
-        without ever copying the whole list — the telemetry span
-        builder and analytics poll large live traces through this.
+        append-only, repeated calls see every event exactly once —
+        the telemetry span builder and analytics poll large live traces
+        through this.  O(new) on a memory sink; a spool sink pays a
+        file re-read, which only end-of-run consumers do.
         """
         with self._lock:
-            fresh = self._events[since:]
-            cursor = len(self._events)
+            fresh = self._sink.events(since)
+            cursor = len(self._sink)
         return fresh, cursor
 
     def events(self, name: str | None = None, uid: str | None = None) -> list[ProfileEvent]:
         """Events filtered by name and/or uid, in recording order."""
         with self._lock:
-            snapshot = list(self._events)
+            snapshot = self._sink.events()
         return [
             ev
             for ev in snapshot
@@ -110,16 +116,20 @@ class Profiler:
     def write_jsonl(self, path) -> int:
         """Dump the trace as JSON lines (one event per line); returns the
         event count.  The format matches what RADICAL-Analytics-style
-        post-processing expects: ``{"time", "name", "uid", **attrs}``."""
+        post-processing expects: ``{"time", "name", "uid", **attrs}`` —
+        and is byte-identical to a :class:`SpoolSink`'s spool file."""
         import json
         from pathlib import Path
 
         path = Path(path)
         with self._lock:
-            snapshot = list(self._events)
+            snapshot = self._sink.events()
         with path.open("w") as stream:
             for ev in snapshot:
-                record = {"time": ev.time, "name": ev.name, "uid": ev.uid}
-                record.update(ev.attrs)
-                stream.write(json.dumps(record, default=str) + "\n")
+                stream.write(json.dumps(ev.row(), default=str) + "\n")
         return len(snapshot)
+
+    def close(self) -> None:
+        """Flush and close the sink (a no-op for memory sinks)."""
+        with self._lock:
+            self._sink.close()

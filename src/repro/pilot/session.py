@@ -14,8 +14,10 @@ from repro.pilot.db import SessionStore
 from repro.pilot.faults import FaultModel
 from repro.pilot.retry import RetryPolicy
 from repro.pilot.profiler import Profiler
+from repro.pilot.unit_store import UnitStore
 from repro.saga.adaptors.sim import SimContext
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sink import SpoolSink
 from repro.telemetry.span import Tracer
 from repro.utils.ids import generate_id
 from repro.utils.logger import get_logger
@@ -62,6 +64,18 @@ class Session:
         Runtime-level :class:`~repro.pilot.retry.RetryPolicy` applied by
         the unit manager to units killed by node/pilot failures.  ``None``
         fails such units on first death.
+    spool_dir:
+        When given, the profiler streams events to an NDJSON spool file
+        ``<spool_dir>/<session_uid>.trace.jsonl`` instead of keeping the
+        whole trace resident (see :mod:`repro.telemetry.sink`), and the
+        metrics registry keeps running aggregates instead of resident
+        point lists.  Trace *content* is bit-identical either way.
+    bulk_lifecycle:
+        Opt-in batched unit lifecycle: homogeneous batches move through
+        the state machine with one profiler append and one metrics
+        update per batch (``units_new``/``units_state`` events instead
+        of per-unit events).  Sim mode only; coarsens the trace, so it
+        is off for every published-figure run.
     """
 
     def __init__(
@@ -77,9 +91,21 @@ class Session:
         pilot_mtbf: float = 0.0,
         max_pilot_resubmits: int = 0,
         retry_policy: RetryPolicy | None = None,
+        spool_dir: str | Path | None = None,
+        bulk_lifecycle: bool = False,
     ) -> None:
         if mode not in ("local", "sim"):
             raise ConfigurationError(f"unknown session mode {mode!r}")
+        if bulk_lifecycle and mode != "sim":
+            raise ConfigurationError(
+                "bulk_lifecycle is a simulated-mode feature"
+            )
+        if bulk_lifecycle and (fault_rate or node_mtbf or pilot_mtbf):
+            # Fault recovery needs per-unit kill/requeue bookkeeping that
+            # batched transitions deliberately skip.
+            raise ConfigurationError(
+                "bulk_lifecycle is incompatible with fault injection"
+            )
         if pilot_mtbf < 0:
             raise ConfigurationError("pilot mtbf must be non-negative")
         if max_pilot_resubmits < 0:
@@ -122,13 +148,26 @@ class Session:
                 self.sandbox.mkdir(parents=True, exist_ok=True)
                 self._own_sandbox = False
 
-        self.prof = Profiler(self._clock.now)
+        self.bulk_lifecycle = bulk_lifecycle
+        self.spool_path: Path | None = None
+        sink = None
+        if spool_dir is not None:
+            self.spool_path = Path(spool_dir) / f"{self.uid}.trace.jsonl"
+            sink = SpoolSink(self.spool_path)
+        self.prof = Profiler(self._clock.now, sink=sink)
         # Telemetry rides on the profiler: explicit spans and metric
         # points are just more trace events, so they charge no virtual
         # time and stay bit-deterministic under a seed.  Imported as
         # submodules: repro.telemetry must not import the pilot layer.
         self.tracer = Tracer(self.prof)
-        self.metrics = MetricsRegistry(self._clock.now, emit=self.prof.event)
+        # A spooling session is a bounded-memory session: keep metric
+        # series as running aggregates, not resident point lists (the
+        # points still ride in the trace as `metric` events).
+        self.metrics = MetricsRegistry(
+            self._clock.now, emit=self.prof.event,
+            resident_points=spool_dir is None,
+        )
+        self.unit_store = UnitStore(self)
         self.prof.event("session_start", self.uid, mode=mode, platform=platform)
         self.store.insert("sessions", self.uid, {"mode": mode, "platform": platform})
 
@@ -160,6 +199,7 @@ class Session:
         if self.closed:
             return
         self.prof.event("session_close", self.uid)
+        self.prof.close()
         if (
             cleanup
             and self._own_sandbox

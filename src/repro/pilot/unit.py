@@ -1,19 +1,23 @@
-"""The compute unit: one schedulable task inside a pilot."""
+"""The compute unit: one schedulable task inside a pilot.
+
+Since the million-unit scale envelope, :class:`ComputeUnit` is a
+two-word ``__slots__`` view over one row of the session's columnar
+:class:`~repro.pilot.unit_store.UnitStore` — every dense field (state,
+timestamps, cores, attempts, slot occupancy) lives in parallel arrays,
+every sparse field (result, exception, exclusions) in side dicts keyed
+by row.  The public API is unchanged: the unit manager, agent, executor
+and analytics all still talk to units.
+"""
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable
 
 from repro.pilot.description import ComputeUnitDescription
-from repro.pilot.states import UnitState, validate_unit_edge
-from repro.utils.ids import generate_id
+from repro.pilot.states import UnitState
+from repro.pilot.unit_store import UnitStore, UnitTimestamps
 
 __all__ = ["ComputeUnit"]
-
-#: Gauge name per unit state, precomputed once — ``advance`` runs for every
-#: transition of every unit and must not rebuild these strings each time.
-_STATE_GAUGES = {state: f"units.{state.value}" for state in UnitState}
 
 
 class ComputeUnit:
@@ -24,80 +28,136 @@ class ComputeUnit:
     timestamps.
     """
 
+    __slots__ = ("_store", "_i")
+
     def __init__(self, description: ComputeUnitDescription, session: Any) -> None:
-        description.validate()
-        self.uid = generate_id("unit", width=6)
-        self.description = description
-        self.session = session
-        self._state = UnitState.NEW
-        self._lock = threading.Lock()
-        # Created on first local-mode wait(); simulated runs churn through
-        # thousands of units and never block on one.
-        self._final_event: threading.Event | None = None
-        self._callbacks: list[Callable[["ComputeUnit", UnitState], Any]] = []
-        self.timestamps: dict[str, float] = {"NEW": session.now()}
-        self.result: Any = None
-        self.exception: BaseException | None = None
-        self.pilot_uid: str | None = None
-        self.slots: list[int] = []  # core ids occupied while executing
-        self.sandbox: str | None = None
-        #: Execution attempts started (the agent increments at each launch).
-        self.attempts = 0
-        #: ``(pilot_uid, node)`` pairs this unit must not be placed on again
-        #: (populated on node kills when the retry policy excludes failed
-        #: nodes).
-        self.excluded_nodes: set[tuple[str, int]] = set()
-        self._metrics = getattr(session, "metrics", None)
-        if self._metrics is not None:
-            self._metrics.adjust("units.NEW", 1)
+        store = getattr(session, "unit_store", None)
+        if store is None:
+            # Sessions built by repro.pilot.session always carry a store;
+            # this keeps directly constructed units (tests, ad-hoc
+            # harnesses) working against any session-like object.
+            store = UnitStore(session)
+            session.unit_store = store
+        self._store = store
+        self._i = store.add(description)
+
+    @classmethod
+    def _of(cls, store: UnitStore, i: int) -> "ComputeUnit":
+        """View over an already registered row (the bulk path)."""
+        unit = object.__new__(cls)
+        unit._store = store
+        unit._i = i
+        return unit
+
+    # -- identity & description ------------------------------------------------
+
+    @property
+    def uid(self) -> str:
+        return self._store.uid(self._i)
+
+    @property
+    def description(self) -> ComputeUnitDescription:
+        return self._store.description(self._i)
+
+    @property
+    def session(self) -> Any:
+        return self._store._session
 
     # -- state -----------------------------------------------------------------
 
     @property
     def state(self) -> UnitState:
-        return self._state
+        return self._store.state(self._i)
 
     def advance(self, target: UnitState) -> None:
-        with self._lock:
-            validate_unit_edge(f"ComputeUnit {self.uid}", self._state, target)
-            previous = self._state
-            self._state = target
-            self.timestamps[target.value] = self.session.now()
-            callbacks = list(self._callbacks)
-        self.session.prof.event("unit_state", self.uid, state=target.value)
-        metrics = self._metrics
-        if metrics is not None:
-            metrics.adjust(_STATE_GAUGES[previous], -1)
-            metrics.adjust(_STATE_GAUGES[target], 1)
-        for cb in callbacks:
-            cb(self, target)
-        if target.is_final:
-            with self._lock:
-                event = self._final_event
-            if event is not None:
-                event.set()
+        self._store.advance(self, target)
 
     def add_callback(self, callback: Callable[["ComputeUnit", UnitState], Any]) -> None:
-        self._callbacks.append(callback)
+        self._store.add_callback(self._i, callback)
 
     def remove_callback(
         self, callback: Callable[["ComputeUnit", UnitState], Any]
     ) -> None:
         """Detach *callback* if attached (idempotent)."""
-        with self._lock:
-            if callback in self._callbacks:
-                self._callbacks.remove(callback)
+        self._store.remove_callback(self._i, callback)
+
+    # -- mutable runtime fields --------------------------------------------------
+
+    @property
+    def timestamps(self) -> UnitTimestamps:
+        return UnitTimestamps(self._store, self._i)
+
+    @property
+    def result(self) -> Any:
+        return self._store.result(self._i)
+
+    @result.setter
+    def result(self, value: Any) -> None:
+        self._store.set_result(self._i, value)
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._store.exception(self._i)
+
+    @exception.setter
+    def exception(self, exc: BaseException | None) -> None:
+        self._store.set_exception(self._i, exc)
+
+    @property
+    def pilot_uid(self) -> str | None:
+        return self._store.pilot_uid(self._i)
+
+    @pilot_uid.setter
+    def pilot_uid(self, uid: str | None) -> None:
+        self._store.set_pilot_uid(self._i, uid)
+
+    @property
+    def slots(self) -> list[int]:
+        """Core ids occupied while executing."""
+        return self._store.slots(self._i)
+
+    @slots.setter
+    def slots(self, slots: list[int]) -> None:
+        self._store.set_slots(self._i, slots)
+
+    @property
+    def sandbox(self) -> str | None:
+        return self._store.sandbox(self._i)
+
+    @sandbox.setter
+    def sandbox(self, path: str | None) -> None:
+        self._store.set_sandbox(self._i, path)
+
+    @property
+    def attempts(self) -> int:
+        """Execution attempts started (the agent increments at each launch)."""
+        return self._store.attempts(self._i)
+
+    @attempts.setter
+    def attempts(self, value: int) -> None:
+        self._store.set_attempts(self._i, value)
+
+    @property
+    def excluded_nodes(self) -> frozenset[tuple[str, int]] | set:
+        """``(pilot_uid, node)`` pairs this unit must not be placed on again
+        (populated on node kills when the retry policy excludes failed
+        nodes).  Read-only; record exclusions via :meth:`exclude_node`."""
+        return self._store.excluded_nodes(self._i)
+
+    def exclude_node(self, pilot_uid: str, node: int) -> None:
+        self._store.exclude_node(self._i, pilot_uid, node)
 
     # -- introspection -----------------------------------------------------------
 
     @property
     def done(self) -> bool:
-        return self._state.is_final
+        return self.state.is_final
 
     def duration(self, start: UnitState, end: UnitState) -> float | None:
         """Seconds between two recorded state entries, if both happened."""
-        t0 = self.timestamps.get(start.value)
-        t1 = self.timestamps.get(end.value)
+        timestamps = self.timestamps
+        t0 = timestamps.get(start.value)
+        t1 = timestamps.get(end.value)
         if t0 is None or t1 is None:
             return None
         return t1 - t0
@@ -109,16 +169,19 @@ class ComputeUnit:
 
     def wait(self, timeout: float | None = None) -> UnitState:
         """Block until final (local mode); immediate in simulated mode."""
-        if getattr(self.session, "is_simulated", False):
-            return self._state
-        with self._lock:
-            if self._state.is_final:
-                return self._state
-            if self._final_event is None:
-                self._final_event = threading.Event()
-            event = self._final_event
+        store = self._store
+        if getattr(store._session, "is_simulated", False):
+            return self.state
+        with store._lock:
+            if self.state.is_final:
+                return self.state
+            event = store.final_event(self._i, create=True)
+        assert event is not None
         event.wait(timeout)
-        return self._state
+        return self.state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<ComputeUnit {self.uid} {self._state.value} cores={self.description.cores}>"
+        return (
+            f"<ComputeUnit {self.uid} {self.state.value} "
+            f"cores={self.description.cores}>"
+        )

@@ -74,6 +74,8 @@ class UnitManager:
             raise PilotError("unit manager has no pilots")
         if isinstance(descriptions, ComputeUnitDescription):
             descriptions = [descriptions]
+        if getattr(self.session, "bulk_lifecycle", False):
+            return self._submit_units_bulk(descriptions, callback, extra_delay)
 
         units: list[ComputeUnit] = []
         routing: dict[str, tuple[ComputePilot, list[ComputeUnit]]] = {}
@@ -97,6 +99,48 @@ class UnitManager:
             with self._lock:
                 self.units.extend(units)
 
+            for pilot, batch in routing.values():
+                self._forward(pilot, batch, extra_delay)
+        return units
+
+    def _submit_units_bulk(
+        self,
+        descriptions: list[ComputeUnitDescription],
+        callback: Callable[[ComputeUnit, UnitState], Any] | None,
+        extra_delay: float,
+    ) -> list[ComputeUnit]:
+        """Batched submission (``Session(bulk_lifecycle=True)``).
+
+        One columnar registration, one ``units_new`` event, one shared
+        callback list and one ``units_state`` transition cover the whole
+        batch; routing and forwarding are unchanged.  The trace is
+        deliberately coarser than the per-unit path's — this is the
+        million-unit envelope, not the published-figure path.
+        """
+        store = self.session.unit_store
+        with self.session.tracer.span(
+            "umgr.submit", self.uid, n=len(descriptions)
+        ):
+            rows = store.add_bulk(descriptions)
+            units = [ComputeUnit._of(store, i) for i in rows]
+            shared: list[Callable[[ComputeUnit, UnitState], Any]] = []
+            if callback is not None:
+                shared.append(callback)
+            shared.extend(self._callbacks)
+            store.set_group_callbacks(rows, shared)
+            if units:
+                self.session.prof.event(
+                    "units_new", units[0].uid, n=len(units),
+                    last=units[-1].uid,
+                    pattern=descriptions[0].tags.get("pattern", ""),
+                )
+            store.advance_many(units, UnitState.UMGR_SCHEDULING)
+            routing: dict[str, tuple[ComputePilot, list[ComputeUnit]]] = {}
+            for unit in units:
+                pilot = self._pick_pilot(unit.description)
+                routing.setdefault(pilot.uid, (pilot, []))[1].append(unit)
+            with self._lock:
+                self.units.extend(units)
             for pilot, batch in routing.values():
                 self._forward(pilot, batch, extra_delay)
         return units

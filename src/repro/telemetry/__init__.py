@@ -16,6 +16,10 @@ The pilot layer records a flat, append-only list of profile events
   :class:`~repro.core.profiler.OverheadBreakdown`.
 * :mod:`repro.telemetry.export` — Chrome trace-event JSON export,
   loadable in Perfetto / ``about://tracing``.
+* :mod:`repro.telemetry.sink` — append-only event sinks: the resident
+  :class:`MemorySink` (default) and the spillable :class:`SpoolSink`
+  that streams events to an NDJSON spool file, keeping only a bounded
+  ring in memory (the 10^6-unit scale envelope).
 
 Everything here is *derived* from the trace after the fact (or emitted
 as extra trace events that charge no virtual time), so telemetry can
@@ -35,9 +39,21 @@ from repro.telemetry.analysis import (
 )
 from repro.telemetry.export import chrome_trace, write_chrome_trace
 from repro.telemetry.metrics import MetricsRegistry, MetricSeries
+from repro.telemetry.sink import (
+    EventSink,
+    MemorySink,
+    ProfileEvent,
+    SpoolSink,
+    revive,
+)
 from repro.telemetry.span import Span, SpanBuilder, SpanTree, Tracer, component_of
 
 __all__ = [
+    "EventSink",
+    "MemorySink",
+    "ProfileEvent",
+    "SpoolSink",
+    "revive",
     "Span",
     "SpanBuilder",
     "SpanTree",

@@ -14,6 +14,13 @@ export (as counter tracks) and the determinism comparison for free,
 and lets the ``repro trace`` CLI rebuild series from a trace file with
 :meth:`MetricsRegistry.from_events`.
 
+Every series always maintains O(1) running aggregates (count, min,
+max, sum, last).  Whether it *also* keeps the full (time, value) point
+list is the registry's ``resident_points`` switch: a spooling
+million-unit session turns it off so metrics stay bounded — the
+points still ride inside the trace, and ``from_events`` can rebuild a
+fully resident registry from the spool afterwards.
+
 No pilot-layer imports here (the session imports us).
 """
 
@@ -26,26 +33,52 @@ from typing import Any, Callable, Iterable, Mapping
 __all__ = ["MetricSeries", "MetricsRegistry"]
 
 
-@dataclass
+@dataclass(slots=True)
 class MetricSeries:
-    """One named time series: (time, value) points in record order."""
+    """One named time series: running aggregates plus, when resident,
+    the (time, value) points in record order."""
 
     name: str
     kind: str  # "counter" | "gauge" | "sample"
     points: list[tuple[float, float]] = field(default_factory=list)
+    #: Whether :attr:`points` is populated; aggregates are always kept.
+    resident: bool = True
+    count: int = 0
+    vmin: float = 0.0
+    vmax: float = 0.0
+    total: float = 0.0
+    _last: float = 0.0
+
+    def _push(self, time: float, value: float) -> None:
+        if self.count == 0:
+            self.vmin = self.vmax = value
+        else:
+            if value < self.vmin:
+                self.vmin = value
+            if value > self.vmax:
+                self.vmax = value
+        self.count += 1
+        self.total += value
+        self._last = value
+        if self.resident:
+            self.points.append((time, value))
 
     def __len__(self) -> int:
-        return len(self.points)
+        return self.count
 
     @property
     def last(self) -> float:
-        return self.points[-1][1] if self.points else 0.0
+        return self._last
 
     def values(self) -> list[float]:
+        """Recorded values in order (resident series only)."""
+        self._require_points()
         return [value for _, value in self.points]
 
     def value_at(self, time: float) -> float:
-        """The most recent value at or before *time* (0.0 before any)."""
+        """The most recent value at or before *time* (0.0 before any);
+        resident series only."""
+        self._require_points()
         current = 0.0
         for t, value in self.points:
             if t > time:
@@ -54,16 +87,27 @@ class MetricSeries:
         return current
 
     def stats(self) -> dict[str, float]:
-        """min/max/mean/count over recorded values (empty series → zeros)."""
-        values = self.values()
-        if not values:
+        """min/max/mean/count over recorded values (empty series → zeros).
+
+        Computed from the running aggregates, so it works identically
+        on resident and bounded series.
+        """
+        if not self.count:
             return {"count": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
         return {
-            "count": float(len(values)),
-            "min": min(values),
-            "max": max(values),
-            "mean": sum(values) / len(values),
+            "count": float(self.count),
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.total / self.count,
         }
+
+    def _require_points(self) -> None:
+        if not self.resident and self.count:
+            raise RuntimeError(
+                f"metric series {self.name!r} was recorded without resident "
+                "points (bounded/spooling session); rebuild a resident "
+                "registry from the trace with MetricsRegistry.from_events"
+            )
 
 
 class MetricsRegistry:
@@ -72,16 +116,20 @@ class MetricsRegistry:
     ``clock`` is a zero-argument callable returning the current time
     (``Session`` passes its clock's ``now``); ``emit``, when given, is
     called as ``emit("metric", name, value=...)`` for every point so the
-    series ride inside the profiler trace.
+    series ride inside the profiler trace.  ``resident_points=False``
+    bounds memory: series keep running aggregates only (see
+    :class:`MetricSeries`).
     """
 
     def __init__(
         self,
         clock: Callable[[], float],
         emit: Callable[..., Any] | None = None,
+        resident_points: bool = True,
     ) -> None:
         self._clock = clock
         self._emit = emit
+        self._resident = resident_points
         self._series: dict[str, MetricSeries] = {}
         # Local-mode units advance from executor worker threads; the
         # read-modify-write in count()/adjust() needs the same guard
@@ -92,13 +140,14 @@ class MetricsRegistry:
         with self._lock:
             series = self._series.get(name)
             if series is None:
-                series = MetricSeries(name=name, kind=kind)
+                series = MetricSeries(
+                    name=name, kind=kind, resident=self._resident
+                )
                 self._series[name] = series
-            points = series.points
-            if delta and points:
-                value += points[-1][1]
+            if delta and series.count:
+                value += series.last
             value = float(value)
-            points.append((self._clock(), value))
+            series._push(self._clock(), value)
         if self._emit is not None:
             self._emit("metric", name, value=value, kind=kind)
 
@@ -136,9 +185,10 @@ class MetricsRegistry:
     def from_events(cls, events: Iterable[Any]) -> "MetricsRegistry":
         """Rebuild a registry from ``metric`` events in a trace.
 
-        Accepts live profile events or dicts parsed from a JSONL dump.
-        The returned registry's clock is frozen (recording into it
-        stamps time 0.0); it is meant for querying only.
+        Accepts live profile events or dicts parsed from a JSONL dump
+        (including spool files).  The returned registry's clock is
+        frozen (recording into it stamps time 0.0); it is meant for
+        querying only.
         """
         registry = cls(lambda: 0.0)
         for event in events:
@@ -157,5 +207,5 @@ class MetricsRegistry:
             if series is None:
                 series = MetricSeries(name=uid, kind=kind)
                 registry._series[uid] = series
-            series.points.append((time, float(attrs.get("value", 0.0))))
+            series._push(time, float(attrs.get("value", 0.0)))
         return registry

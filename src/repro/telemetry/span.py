@@ -42,7 +42,7 @@ _PATTERN_SPAN_NAMES = frozenset({"entk_stage_create", "entk_pattern_overhead"})
 _EXEC_SPAN_NAME = "unit:EXECUTING"
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One named, causally-parented time interval.
 
@@ -168,7 +168,7 @@ class Tracer:
 NULL_TRACER = Tracer(None)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _Event:
     """Normalized view of one trace event (live object or JSONL dict)."""
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 import threading
 
-__all__ = ["generate_id", "reset_id_counters"]
+__all__ = ["generate_id", "reserve_id_block", "reset_id_counters"]
 
 _lock = threading.Lock()
 _counters: dict[str, itertools.count] = {}
@@ -33,6 +33,27 @@ def generate_id(namespace: str, width: int = 4) -> str:
         counter = _counters.setdefault(namespace, itertools.count())
         n = next(counter)
     return f"{namespace}.{n:0{width}d}"
+
+
+def reserve_id_block(namespace: str, n: int) -> int:
+    """Atomically reserve *n* consecutive counter values; return the first.
+
+    The caller formats identifiers itself (``f"{namespace}.{serial:0{w}d}"``),
+    which lets columnar stores keep one integer per entity instead of one
+    formatted string — the serial sequence is exactly what interleaved
+    :func:`generate_id` calls would have produced, so lazily formatted uids
+    are indistinguishable from eagerly generated ones.
+    """
+    if not namespace:
+        raise ValueError("namespace must be non-empty")
+    if n < 1:
+        raise ValueError("block size must be positive")
+    with _lock:
+        counter = _counters.setdefault(namespace, itertools.count())
+        first = next(counter)
+        for _ in range(n - 1):
+            next(counter)
+    return first
 
 
 def reset_id_counters(namespace: str | None = None) -> None:

@@ -243,3 +243,69 @@ class TestGoldenTraceHashes:
         assert self._digest(events) == self.GOLDEN[
             "bag_task_node_faults_seed11"
         ]
+
+
+class TestGoldenTraceHashesSpooled(TestGoldenTraceHashes):
+    """The same pinned digests with the trace streamed to a spool file.
+
+    Spooling must be a pure representation change: the NDJSON round-trip
+    (``repr`` floats, revived :class:`ProfileEvent` rows) may not perturb
+    a single byte of the Chrome export.  Each test hashes the trace twice
+    — once from the live profiler view and once re-read from the spool
+    file on disk — against the unchanged golden pins.
+    """
+
+    def test_spooled_trace_matches_golden_twice(self, tmp_path):
+        reset_id_counters()
+        handle = ResourceHandle(
+            "xsede.comet", cores=32, walltime=600, mode="sim",
+            seed=7, spool_dir=tmp_path, **FAULT_KWARGS,
+        )
+        handle.allocate()
+        try:
+            handle.run(TwoStageEoP(ensemble_size=48, pipeline_size=2))
+        finally:
+            handle.deallocate()
+        live = list(handle.profile)
+        assert self._digest(live) == self.GOLDEN["eop_faults_seed7"]
+
+        import json as _json
+
+        from repro.telemetry.sink import revive
+
+        spool = handle.session.spool_path
+        assert spool is not None and spool.exists()
+        with spool.open() as stream:
+            revived = [revive(_json.loads(line)) for line in stream]
+        assert revived == live
+        assert self._digest(revived) == self.GOLDEN["eop_faults_seed7"]
+
+    def test_eop_plain_seed7(self, tmp_path):
+        events = trace(
+            lambda: TwoStageEoP(ensemble_size=48, pipeline_size=2),
+            seed=7, spool_dir=tmp_path,
+        )
+        assert self._digest(events) == self.GOLDEN["eop_plain_seed7"]
+
+    def test_eop_faults_seed7(self, tmp_path):
+        events = trace(
+            lambda: TwoStageEoP(ensemble_size=48, pipeline_size=2),
+            seed=7, spool_dir=tmp_path, **FAULT_KWARGS,
+        )
+        assert self._digest(events) == self.GOLDEN["eop_faults_seed7"]
+
+    def test_ee_faults_seed3(self, tmp_path):
+        events = trace(
+            lambda: SleepEE(ensemble_size=32, iterations=2),
+            seed=3, spool_dir=tmp_path, **FAULT_KWARGS,
+        )
+        assert self._digest(events) == self.GOLDEN["ee_faults_seed3"]
+
+    def test_bag_task_node_faults_seed11(self, tmp_path):
+        events = trace(
+            lambda: FaultedBag(size=64),
+            seed=11, fault_rate=0.2, spool_dir=tmp_path, **FAULT_KWARGS,
+        )
+        assert self._digest(events) == self.GOLDEN[
+            "bag_task_node_faults_seed11"
+        ]

@@ -74,6 +74,39 @@ class TestRunCache:
         cache.path(point).write_text("{ not json")
         assert cache.get(point) is None
 
+    def test_truncated_entry_recomputes_and_overwrites(self, tmp_path):
+        """A file cut off mid-write (host died between write and rename,
+        disk full...) must behave as a miss, and the recomputed record
+        must overwrite the damaged file."""
+        cache = RunCache(tmp_path)
+        point = {"x": 7}
+        cache.put(point, {"x": 7, "y": 49})
+        path = cache.path(point)
+        intact = path.read_text()
+        path.write_text(intact[: len(intact) // 2])  # hand-truncate
+        assert cache.get(point) is None
+        _CALLS.clear()
+        records = run_sweep(_square_point, [point], cache=cache)
+        assert records == [{"x": 7, "y": 49}]
+        assert len(_CALLS) == 1  # recomputed, not served from the bad file
+        assert json.loads(path.read_text())["record"] == {"x": 7, "y": 49}
+        assert cache.get(point) == {"x": 7, "y": 49}
+
+    def test_binary_garbage_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        point = {"x": 1}
+        cache.put(point, {"y": 1})
+        cache.path(point).write_bytes(b"\x00\xff\xfe garbage \x80")
+        assert cache.get(point) is None
+
+    def test_wrong_shape_json_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        point = {"x": 1}
+        for payload in ("[1, 2, 3]", '"a string"', "42", "null",
+                        '{"record": {"y": 1}}'):
+            cache.path(point).write_text(payload)
+            assert cache.get(point) is None
+
     def test_mismatched_stored_point_is_a_miss(self, tmp_path):
         cache = RunCache(tmp_path)
         point = {"cores": 8, "seed": 3}
@@ -99,6 +132,93 @@ class TestRunCache:
         )
         assert len(_CALLS) == 6
         assert extended[:5] == first
+
+
+def _faulted_bag_point(point: dict) -> dict:
+    """One sweep point that exercises the whole fault machinery.
+
+    Must stay module-level and JSON-in/JSON-out: the parallel path
+    pickles it into worker processes, and the equality assertions below
+    compare records across processes and cache round-trips.
+    """
+    import hashlib
+
+    from repro.core.kernel_plugin import Kernel
+    from repro.core.patterns import BagOfTasks
+    from repro.core.resource_handle import ResourceHandle
+    from repro.pilot.retry import RetryPolicy
+    from repro.telemetry.export import chrome_trace
+    from repro.utils.ids import reset_id_counters
+
+    class _Bag(BagOfTasks):
+        def task(self, instance):
+            kernel = Kernel(name="misc.sleep")
+            kernel.arguments = ["--duration=100"]
+            return kernel
+
+    from repro.exceptions import PatternError
+
+    reset_id_counters()
+    handle = ResourceHandle(
+        "xsede.comet", cores=16, walltime=600, mode="sim",
+        seed=point["seed"], fault_rate=point["fault_rate"],
+        node_mtbf=120.0, node_repair_time=120.0,
+        retry_policy=RetryPolicy(max_attempts=8, backoff_base=2.0,
+                                 jitter=0.5, exclude_failed_nodes=False),
+    )
+    handle.allocate()
+    n_failed = 0
+    try:
+        try:
+            handle.run(_Bag(size=point["size"]))
+        except PatternError:
+            # Exhausted retries are a legitimate outcome of an aggressive
+            # fault schedule; the record captures them either way.
+            n_failed = 1
+    finally:
+        handle.deallocate()
+    events = list(handle.profile)
+    payload = json.dumps(
+        chrome_trace(events), sort_keys=True, separators=(",", ":")
+    )
+    return {
+        "ttc": handle.session.now(),
+        "n_events": len(events),
+        "n_requeues": sum(1 for ev in events if ev.name == "unit_requeue"),
+        "failed": n_failed,
+        "trace_sha256": hashlib.sha256(payload.encode()).hexdigest(),
+    }
+
+
+class TestFaultedSweeps:
+    """Sweeps stay deterministic when the points inject faults.
+
+    The sweep runner fans points across worker processes and caches
+    records on disk; neither may perturb a fault-injected run — each
+    record embeds the full trace digest, so one extra or reordered
+    stream draw anywhere fails these assertions.
+    """
+
+    POINTS = [
+        {"size": 24, "seed": 3, "fault_rate": 0.15},
+        {"size": 24, "seed": 4, "fault_rate": 0.15},
+        {"size": 16, "seed": 3, "fault_rate": 0.0},
+    ]
+
+    def test_parallel_matches_serial_under_faults(self):
+        serial = run_sweep(_faulted_bag_point, self.POINTS)
+        parallel = run_sweep(_faulted_bag_point, self.POINTS, parallel=3)
+        assert parallel == serial
+        assert any(r["n_requeues"] > 0 for r in serial), (
+            "fixture must actually exercise the fault machinery"
+        )
+
+    def test_cache_warm_equals_cold_under_faults(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cold = run_sweep(_faulted_bag_point, self.POINTS, cache=cache)
+        assert len(cache) == len(self.POINTS)
+        warm = run_sweep(_faulted_bag_point, self.POINTS, cache=cache)
+        assert warm == cold
 
 
 class TestFigureSweeps:
